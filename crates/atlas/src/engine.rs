@@ -1,0 +1,134 @@
+//! Deterministic discrete-event queue.
+//!
+//! A minimal priority queue of `(time, sequence, event)` triples. The
+//! monotone sequence number makes ordering of simultaneous events
+//! deterministic (FIFO among equals), which keeps whole-world simulations
+//! bit-reproducible across runs and platforms.
+
+use dynaddr_types::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq, Eq)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    /// Events at or beyond this horizon are silently dropped on push.
+    horizon: Option<SimTime>,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue with no horizon.
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, horizon: None }
+    }
+
+    /// Creates a queue that drops events scheduled at or after `horizon`
+    /// (the end of the measurement year).
+    pub fn with_horizon(horizon: SimTime) -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, horizon: Some(horizon) }
+    }
+
+    /// Schedules an event. Returns false if it fell beyond the horizon.
+    pub fn push(&mut self, time: SimTime, event: E) -> bool {
+        if let Some(h) = self.horizon {
+            if time >= h {
+                return false;
+            }
+        }
+        self.heap.push(Reverse(Entry { time, seq: self.seq, event }));
+        self.seq += 1;
+        true
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.push(SimTime(5), label);
+        }
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn horizon_drops_late_events() {
+        let mut q = EventQueue::with_horizon(SimTime(100));
+        assert!(q.push(SimTime(99), "in"));
+        assert!(!q.push(SimTime(100), "at"));
+        assert!(!q.push(SimTime(500), "past"));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), "x");
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

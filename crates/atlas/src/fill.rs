@@ -1,0 +1,376 @@
+//! Procedural generation of *filler* probes — the populations Table 2
+//! filters away before analysis.
+//!
+//! These probes do not need event-level fidelity; they need connection logs
+//! whose *shape* triggers the right filter:
+//!
+//! * **never-changed** — one IPv4 address all year;
+//! * **dual-stack** — connections alternating between IPv4 and IPv6 peers;
+//! * **IPv6-only** — only IPv6 peers;
+//! * **tagged** — carry `multihomed`/`datacentre`/`core` tags; a fraction
+//!   also behave multihomed;
+//! * **alternating** — untagged but multihomed-behaving: connections
+//!   alternate between one fixed address and a changing one;
+//! * **testing-static** — first connection from 193.0.0.78, then one stable
+//!   address (no analyzable changes remain once the testing entry is
+//!   removed).
+
+use crate::config::WorldConfig;
+use crate::logs::{
+    testing_address, ConnectionLogEntry, PeerAddr, ProbeMeta, SosUptimeRecord,
+};
+use crate::sim::SimOutput;
+use dynaddr_types::rng::SeedTree;
+use dynaddr_types::time::DAY;
+use dynaddr_types::{Country, ProbeId, ProbeTag, ProbeVersion, SimDuration, SimTime};
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Countries filler probes are registered in, with a European bias matching
+/// the real RIPE Atlas deployment.
+const FILLER_COUNTRIES: &[&str] = &[
+    "DE", "DE", "DE", "FR", "FR", "GB", "NL", "NL", "BE", "AT", "CH", "SE", "CZ", "PL", "IT",
+    "ES", "RU", "US", "US", "CA", "JP", "IN", "SG", "ZA", "BR", "AU", "NZ",
+];
+
+/// Appends filler probes to a simulation output.
+pub fn generate_filler(config: &WorldConfig, out: &mut SimOutput) {
+    let next_id = out
+        .dataset
+        .meta
+        .iter()
+        .map(|m| m.probe.0)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let mut gen = FillerGen {
+        rng: SeedTree::new(config.seed).rng_for("filler"),
+        next_id,
+        out,
+    };
+    let f = &config.filler;
+    for _ in 0..f.never_changed {
+        gen.never_changed();
+    }
+    for _ in 0..f.dual_stack {
+        gen.dual_stack();
+    }
+    for _ in 0..f.ipv6_only {
+        gen.ipv6_only();
+    }
+    let tagged_alternating = (f.tagged as f64 * f.tagged_alternating_frac).round() as usize;
+    for i in 0..f.tagged {
+        gen.tagged(i < tagged_alternating);
+    }
+    for _ in 0..f.alternating {
+        gen.alternating(false);
+    }
+    for _ in 0..f.testing_static {
+        gen.testing_static();
+    }
+}
+
+struct FillerGen<'a> {
+    rng: ChaCha12Rng,
+    next_id: u32,
+    out: &'a mut SimOutput,
+}
+
+impl FillerGen<'_> {
+    fn new_probe(&mut self, tags: Vec<ProbeTag>) -> (ProbeId, SimTime) {
+        let id = ProbeId(self.next_id);
+        self.next_id += 1;
+        let country =
+            Country::new(FILLER_COUNTRIES[self.rng.gen_range(0..FILLER_COUNTRIES.len())])
+                .expect("static codes are valid");
+        let version = if self.rng.gen::<f64>() < 0.8 {
+            ProbeVersion::V3
+        } else if self.rng.gen::<f64>() < 0.5 {
+            ProbeVersion::V2
+        } else {
+            ProbeVersion::V1
+        };
+        self.out.dataset.meta.push(ProbeMeta { probe: id, version, country, tags });
+        let join = SimTime(-self.rng.gen_range(1..(60 * DAY)));
+        (id, join)
+    }
+
+    fn rand_v4(&mut self) -> Ipv4Addr {
+        // Random address avoiding reserved low/high space and the simulator's
+        // scripted pools (which live in 2.0.0.0/8–100.0.0.0/8 ranges chosen
+        // by the world builder; collisions would be harmless anyway).
+        Ipv4Addr::new(
+            self.rng.gen_range(130..190),
+            self.rng.gen_range(0..=255),
+            self.rng.gen_range(0..=255),
+            self.rng.gen_range(1..=254),
+        )
+    }
+
+    fn rand_v6(&mut self) -> Ipv6Addr {
+        Ipv6Addr::new(
+            0x2001,
+            0x0db8,
+            self.rng.gen(),
+            self.rng.gen(),
+            self.rng.gen(),
+            self.rng.gen(),
+            self.rng.gen(),
+            self.rng.gen(),
+        )
+    }
+
+    /// Emits a connection sequence: `peers[i]` held for a stretch, breaks in
+    /// between. Also emits matching SOS-uptime records (no reboots).
+    fn emit_sequence(&mut self, id: ProbeId, join: SimTime, peers: &[PeerAddr]) {
+        let boot = join - SimDuration::from_days(1);
+        let mut t = join;
+        let mut i = 0usize;
+        while t < SimTime::YEAR_END && i < peers.len() {
+            let hold = self.rng.gen_range((2 * DAY)..(10 * DAY));
+            let end = (t + SimDuration::from_secs(hold)).min(SimTime::YEAR_END);
+            self.out.dataset.connections.push(ConnectionLogEntry {
+                probe: id,
+                start: t,
+                end,
+                peer: peers[i],
+            });
+            if t >= SimTime::YEAR_START {
+                self.out.dataset.uptime.push(SosUptimeRecord {
+                    probe: id,
+                    timestamp: t,
+                    uptime_secs: (t - boot).secs().max(0) as u64,
+                });
+            }
+            t = end + SimDuration::from_secs(self.rng.gen_range(60..600));
+            i += 1;
+        }
+    }
+
+    /// Enough connection segments to span the year at 2–10 days each.
+    fn segments(&mut self) -> usize {
+        self.rng.gen_range(90..140)
+    }
+
+    fn never_changed(&mut self) {
+        let (id, join) = self.new_probe(vec![ProbeTag::Home]);
+        let addr = PeerAddr::V4(self.rand_v4());
+        let peers = vec![addr; self.segments()];
+        self.emit_sequence(id, join, &peers);
+    }
+
+    fn dual_stack(&mut self) {
+        let (id, join) = self.new_probe(vec![ProbeTag::Home]);
+        let v4 = self.rand_v4();
+        let v6 = self.rand_v6();
+        let n = self.segments();
+        let mut peers = Vec::with_capacity(n);
+        let mut cur_v4 = v4;
+        for _ in 0..n {
+            if self.rng.gen::<f64>() < 0.5 {
+                peers.push(PeerAddr::V4(cur_v4));
+            } else {
+                peers.push(PeerAddr::V6(v6));
+            }
+            // The IPv4 address drifts occasionally; unobservable through the
+            // alternation, which is the point of the dual-stack filter.
+            if self.rng.gen::<f64>() < 0.1 {
+                cur_v4 = self.rand_v4();
+            }
+        }
+        self.emit_sequence(id, join, &peers);
+    }
+
+    fn ipv6_only(&mut self) {
+        let (id, join) = self.new_probe(vec![ProbeTag::Home]);
+        let v6 = PeerAddr::V6(self.rand_v6());
+        let peers = vec![v6; self.segments()];
+        self.emit_sequence(id, join, &peers);
+    }
+
+    fn tagged(&mut self, behaves_multihomed: bool) {
+        let tag = match self.rng.gen_range(0..3) {
+            0 => ProbeTag::Multihomed,
+            1 => ProbeTag::Datacentre,
+            _ => ProbeTag::Core,
+        };
+        let (id, join) = self.new_probe(vec![tag]);
+        if behaves_multihomed {
+            self.alternating_sequence(id, join);
+        } else {
+            let addr = PeerAddr::V4(self.rand_v4());
+            let peers = vec![addr; self.segments()];
+            self.emit_sequence(id, join, &peers);
+        }
+    }
+
+    fn alternating(&mut self, _tagged: bool) {
+        let (id, join) = self.new_probe(vec![ProbeTag::Home]);
+        self.alternating_sequence(id, join);
+    }
+
+    /// Connections alternate between one fixed address and a changing one —
+    /// the behavioural multihoming signature of §3.2.
+    fn alternating_sequence(&mut self, id: ProbeId, join: SimTime) {
+        let fixed = PeerAddr::V4(self.rand_v4());
+        let n = self.segments();
+        let mut peers = Vec::with_capacity(n);
+        let mut other = self.rand_v4();
+        for k in 0..n {
+            if k % 2 == 0 {
+                peers.push(fixed);
+            } else {
+                if self.rng.gen::<f64>() < 0.3 {
+                    other = self.rand_v4();
+                }
+                peers.push(PeerAddr::V4(other));
+            }
+        }
+        self.emit_sequence(id, join, &peers);
+    }
+
+    fn testing_static(&mut self) {
+        let (id, _) = self.new_probe(vec![ProbeTag::Home]);
+        // First connection from the RIPE NCC testing bench, briefly into the
+        // year, then one stable address at the host.
+        let handover = SimTime(self.rng.gen_range(0..(20 * DAY)));
+        self.out.dataset.connections.push(ConnectionLogEntry {
+            probe: id,
+            start: handover - SimDuration::from_days(2),
+            end: handover,
+            peer: PeerAddr::V4(testing_address()),
+        });
+        let addr = PeerAddr::V4(self.rand_v4());
+        let peers = vec![addr; self.segments()];
+        let settle = SimDuration::from_secs(self.rng.gen_range(600..7200));
+        self.emit_sequence(id, handover + settle, &peers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FillerSpec;
+    use crate::sim::{simulate, SimOutput};
+    use crate::truth::GroundTruth;
+    use crate::logs::AtlasDataset;
+
+    fn filler_only_world() -> WorldConfig {
+        let mut w = WorldConfig::empty(5);
+        w.filler = FillerSpec {
+            never_changed: 10,
+            dual_stack: 8,
+            ipv6_only: 4,
+            tagged: 5,
+            tagged_alternating_frac: 0.4,
+            alternating: 6,
+            testing_static: 3,
+        };
+        w
+    }
+
+    fn run_filler(w: &WorldConfig) -> SimOutput {
+        let mut out = SimOutput { dataset: AtlasDataset::default(), truth: GroundTruth::default() };
+        generate_filler(w, &mut out);
+        out.dataset.normalize();
+        out
+    }
+
+    #[test]
+    fn counts_match_spec() {
+        let w = filler_only_world();
+        let out = run_filler(&w);
+        assert_eq!(out.dataset.meta.len(), 10 + 8 + 4 + 5 + 6 + 3);
+    }
+
+    #[test]
+    fn never_changed_have_single_address() {
+        let w = filler_only_world();
+        let out = run_filler(&w);
+        // First 10 probes are never-changed.
+        for m in out.dataset.meta.iter().take(10) {
+            let peers: std::collections::HashSet<_> = out
+                .dataset
+                .connections_of(m.probe)
+                .iter()
+                .map(|c| c.peer)
+                .collect();
+            assert_eq!(peers.len(), 1, "{} should hold one address", m.probe);
+        }
+    }
+
+    #[test]
+    fn dual_stack_mixes_families() {
+        let w = filler_only_world();
+        let out = run_filler(&w);
+        for m in out.dataset.meta.iter().skip(10).take(8) {
+            let conns = out.dataset.connections_of(m.probe);
+            let v4 = conns.iter().filter(|c| c.peer.is_v4()).count();
+            let v6 = conns.len() - v4;
+            assert!(v4 > 0 && v6 > 0, "{} should mix families", m.probe);
+        }
+    }
+
+    #[test]
+    fn ipv6_only_probes_have_no_v4() {
+        let w = filler_only_world();
+        let out = run_filler(&w);
+        for m in out.dataset.meta.iter().skip(18).take(4) {
+            assert!(out.dataset.connections_of(m.probe).iter().all(|c| !c.peer.is_v4()));
+        }
+    }
+
+    #[test]
+    fn tagged_probes_carry_disqualifying_tags() {
+        let w = filler_only_world();
+        let out = run_filler(&w);
+        for m in out.dataset.meta.iter().skip(22).take(5) {
+            assert!(m.tags.iter().any(|t| t.disqualifies()), "{:?}", m);
+        }
+    }
+
+    #[test]
+    fn alternating_probes_pin_one_address() {
+        let w = filler_only_world();
+        let out = run_filler(&w);
+        for m in out.dataset.meta.iter().skip(27).take(6) {
+            let conns = out.dataset.connections_of(m.probe);
+            // Even-indexed connections share one fixed address.
+            let fixed = conns[0].peer;
+            for (k, c) in conns.iter().enumerate() {
+                if k % 2 == 0 {
+                    assert_eq!(c.peer, fixed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn testing_static_probes_start_at_ripe() {
+        let w = filler_only_world();
+        let out = run_filler(&w);
+        for m in out.dataset.meta.iter().skip(33).take(3) {
+            let conns = out.dataset.connections_of(m.probe);
+            assert_eq!(conns[0].peer, PeerAddr::V4(testing_address()));
+            let rest: std::collections::HashSet<_> =
+                conns.iter().skip(1).map(|c| c.peer).collect();
+            assert_eq!(rest.len(), 1, "only one address after the handover");
+        }
+    }
+
+    #[test]
+    fn filler_composes_with_simulation() {
+        let mut w = filler_only_world();
+        let mut isp = crate::config::IspSpec::new("Net", 64500, "DE", 3);
+        isp.prefixes = vec!["10.0.0.0/20".parse().unwrap()];
+        w.isps.push(isp);
+        let out = simulate(&w);
+        assert_eq!(out.dataset.meta.len(), 3 + 36);
+        // Filler ids must not collide with analyzable ids.
+        let mut ids: Vec<u32> = out.dataset.meta.iter().map(|m| m.probe.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.dataset.meta.len());
+    }
+}

@@ -1,0 +1,545 @@
+//! The three RIPE Atlas log datasets (§3) and their on-disk format.
+//!
+//! * **Connection logs** (§3.1) — one entry per TCP connection from a probe
+//!   to its central controller: start, end (last receipt of data), and the
+//!   publicly visible peer address.
+//! * **k-root ping dataset** (§3.4) — every four minutes a probe sends three
+//!   pings to the k-root DNS server and reports how many succeeded, plus the
+//!   LTS ("last time synchronised") value.
+//! * **SOS-uptime dataset** (§3.5) — the probe's uptime counter, reported on
+//!   every new TCP connection; a counter reset reveals a reboot.
+//!
+//! Records serialize as JSON lines (one record per line), mirroring how the
+//! paper's authors scraped per-probe logs from the RIPE Atlas API. Readers
+//! tolerate blank lines and reject malformed ones with line numbers.
+
+use dynaddr_types::{Country, ProbeId, ProbeTag, ProbeVersion, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// The RIPE NCC testing address probes use before being shipped (§3.3).
+pub fn testing_address() -> Ipv4Addr {
+    Ipv4Addr::new(193, 0, 0, 78)
+}
+
+/// The publicly visible address a connection came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeerAddr {
+    /// An IPv4 peer — the subject of the study.
+    V4(Ipv4Addr),
+    /// An IPv6 peer — present in the raw logs, filtered by the pipeline.
+    V6(Ipv6Addr),
+}
+
+impl PeerAddr {
+    /// The IPv4 address, if this is a v4 peer.
+    pub fn v4(self) -> Option<Ipv4Addr> {
+        match self {
+            PeerAddr::V4(a) => Some(a),
+            PeerAddr::V6(_) => None,
+        }
+    }
+
+    /// Whether this is an IPv4 peer.
+    pub fn is_v4(self) -> bool {
+        matches!(self, PeerAddr::V4(_))
+    }
+}
+
+impl fmt::Display for PeerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeerAddr::V4(a) => write!(f, "{a}"),
+            PeerAddr::V6(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+impl From<Ipv4Addr> for PeerAddr {
+    fn from(a: Ipv4Addr) -> PeerAddr {
+        PeerAddr::V4(a)
+    }
+}
+
+impl From<Ipv6Addr> for PeerAddr {
+    fn from(a: Ipv6Addr) -> PeerAddr {
+        PeerAddr::V6(a)
+    }
+}
+
+/// One connection-log entry (§3.1, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionLogEntry {
+    /// The probe that made the connection.
+    pub probe: ProbeId,
+    /// When the TCP connection was established.
+    pub start: SimTime,
+    /// Last receipt of data on the connection.
+    pub end: SimTime,
+    /// The publicly visible peer address (the CPE's WAN address).
+    pub peer: PeerAddr,
+}
+
+/// One k-root ping measurement record (§3.4, Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KrootPingRecord {
+    /// The measuring probe.
+    pub probe: ProbeId,
+    /// When the measurement ran.
+    pub timestamp: SimTime,
+    /// Pings sent (3 in the built-in measurement).
+    pub sent: u8,
+    /// Pings answered.
+    pub success: u8,
+    /// "Last time synchronised": seconds since the probe last synced its
+    /// clock with the controller. Grows while the network is down.
+    pub lts_secs: i64,
+}
+
+impl KrootPingRecord {
+    /// Whether every ping in the round was lost.
+    pub fn all_lost(&self) -> bool {
+        self.sent > 0 && self.success == 0
+    }
+}
+
+/// One SOS-uptime record (§3.5, Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SosUptimeRecord {
+    /// The reporting probe.
+    pub probe: ProbeId,
+    /// When the record was reported (at TCP connection establishment).
+    pub timestamp: SimTime,
+    /// Seconds since the probe booted.
+    pub uptime_secs: u64,
+}
+
+impl SosUptimeRecord {
+    /// The boot instant implied by this record.
+    pub fn boot_time(&self) -> SimTime {
+        SimTime(self.timestamp.0 - self.uptime_secs as i64)
+    }
+}
+
+/// Probe metadata from the probe archive (§3.1): hardware version, country,
+/// and voluntary tags.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeMeta {
+    /// The probe id.
+    pub probe: ProbeId,
+    /// Hardware generation.
+    pub version: ProbeVersion,
+    /// Country the host registered the probe in.
+    pub country: Country,
+    /// Voluntary user-provided tags.
+    pub tags: Vec<ProbeTag>,
+}
+
+/// The complete scraped dataset for one measurement year.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AtlasDataset {
+    /// Probe metadata, one entry per active probe.
+    pub meta: Vec<ProbeMeta>,
+    /// Connection-log entries, sorted by (probe, start).
+    pub connections: Vec<ConnectionLogEntry>,
+    /// k-root ping records, sorted by (probe, timestamp).
+    pub kroot: Vec<KrootPingRecord>,
+    /// SOS-uptime records, sorted by (probe, timestamp).
+    pub uptime: Vec<SosUptimeRecord>,
+}
+
+impl Default for ProbeMeta {
+    fn default() -> ProbeMeta {
+        ProbeMeta {
+            probe: ProbeId(0),
+            version: ProbeVersion::V3,
+            country: Country::new("DE").expect("static code"),
+            tags: Vec::new(),
+        }
+    }
+}
+
+impl AtlasDataset {
+    /// Sorts every log by (probe, time) — the order the pipeline expects.
+    pub fn normalize(&mut self) {
+        self.meta.sort_by_key(|m| m.probe);
+        self.connections.sort_by_key(|c| (c.probe, c.start, c.end));
+        self.kroot.sort_by_key(|k| (k.probe, k.timestamp));
+        self.uptime.sort_by_key(|u| (u.probe, u.timestamp));
+    }
+
+    /// Number of distinct probes with metadata.
+    pub fn probe_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// All connection-log entries of one probe (requires normalized data).
+    pub fn connections_of(&self, probe: ProbeId) -> &[ConnectionLogEntry] {
+        slice_of(&self.connections, |c| c.probe, probe)
+    }
+
+    /// All k-root records of one probe (requires normalized data).
+    pub fn kroot_of(&self, probe: ProbeId) -> &[KrootPingRecord] {
+        slice_of(&self.kroot, |k| k.probe, probe)
+    }
+
+    /// All SOS-uptime records of one probe (requires normalized data).
+    pub fn uptime_of(&self, probe: ProbeId) -> &[SosUptimeRecord] {
+        slice_of(&self.uptime, |u| u.probe, probe)
+    }
+
+    /// Metadata for one probe.
+    pub fn meta_of(&self, probe: ProbeId) -> Option<&ProbeMeta> {
+        self.meta
+            .binary_search_by_key(&probe, |m| m.probe)
+            .ok()
+            .map(|i| &self.meta[i])
+    }
+
+    /// Validates structural invariants external data must satisfy before
+    /// analysis: per-probe connection entries non-overlapping with
+    /// `end >= start`, k-root success counts within sent counts, and every
+    /// log row belonging to a probe with metadata. Returns human-readable
+    /// problems (empty = valid). Call after [`AtlasDataset::normalize`].
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let known: std::collections::HashSet<u32> =
+            self.meta.iter().map(|m| m.probe.0).collect();
+        for c in &self.connections {
+            if c.end < c.start {
+                problems.push(format!(
+                    "{}: connection ends before it starts ({} > {})",
+                    c.probe, c.start, c.end
+                ));
+            }
+            if !known.contains(&c.probe.0) {
+                problems.push(format!("{}: connection entry without metadata", c.probe));
+            }
+        }
+        for pair in self.connections.windows(2) {
+            if pair[0].probe == pair[1].probe && pair[1].start < pair[0].end {
+                problems.push(format!(
+                    "{}: overlapping connections at {}",
+                    pair[0].probe, pair[1].start
+                ));
+            }
+        }
+        for k in &self.kroot {
+            if k.success > k.sent {
+                problems.push(format!(
+                    "{}: k-root success {} exceeds sent {}",
+                    k.probe, k.success, k.sent
+                ));
+            }
+            if !known.contains(&k.probe.0) {
+                problems.push(format!("{}: k-root record without metadata", k.probe));
+            }
+        }
+        for u in &self.uptime {
+            if !known.contains(&u.probe.0) {
+                problems.push(format!("{}: uptime record without metadata", u.probe));
+            }
+        }
+        problems.truncate(100);
+        problems
+    }
+
+    /// Serializes the whole dataset into four JSON-lines documents.
+    pub fn to_jsonl(&self) -> DatasetJsonl {
+        DatasetJsonl {
+            meta: to_jsonl(&self.meta),
+            connections: to_jsonl(&self.connections),
+            kroot: to_jsonl(&self.kroot),
+            uptime: to_jsonl(&self.uptime),
+        }
+    }
+
+    /// Parses a dataset back from four JSON-lines documents.
+    pub fn from_jsonl(docs: &DatasetJsonl) -> Result<AtlasDataset, JsonlError> {
+        let mut ds = AtlasDataset {
+            meta: from_jsonl(&docs.meta)?,
+            connections: from_jsonl(&docs.connections)?,
+            kroot: from_jsonl(&docs.kroot)?,
+            uptime: from_jsonl(&docs.uptime)?,
+        };
+        ds.normalize();
+        Ok(ds)
+    }
+
+    /// Writes the dataset to a directory as four `.jsonl` files.
+    pub fn save_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let docs = self.to_jsonl();
+        std::fs::write(dir.join("meta.jsonl"), docs.meta)?;
+        std::fs::write(dir.join("connections.jsonl"), docs.connections)?;
+        std::fs::write(dir.join("kroot.jsonl"), docs.kroot)?;
+        std::fs::write(dir.join("uptime.jsonl"), docs.uptime)?;
+        Ok(())
+    }
+
+    /// Loads a dataset previously written by [`AtlasDataset::save_dir`].
+    pub fn load_dir(dir: &std::path::Path) -> std::io::Result<AtlasDataset> {
+        let docs = DatasetJsonl {
+            meta: std::fs::read_to_string(dir.join("meta.jsonl"))?,
+            connections: std::fs::read_to_string(dir.join("connections.jsonl"))?,
+            kroot: std::fs::read_to_string(dir.join("kroot.jsonl"))?,
+            uptime: std::fs::read_to_string(dir.join("uptime.jsonl"))?,
+        };
+        AtlasDataset::from_jsonl(&docs)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Contiguous slice of a (probe, …)-sorted log belonging to one probe.
+fn slice_of<T, F: Fn(&T) -> ProbeId>(items: &[T], key: F, probe: ProbeId) -> &[T] {
+    let lo = items.partition_point(|t| key(t) < probe);
+    let hi = items.partition_point(|t| key(t) <= probe);
+    &items[lo..hi]
+}
+
+/// The four JSON-lines documents of a serialized dataset.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetJsonl {
+    /// Probe metadata document.
+    pub meta: String,
+    /// Connection-log document.
+    pub connections: String,
+    /// k-root ping document.
+    pub kroot: String,
+    /// SOS-uptime document.
+    pub uptime: String,
+}
+
+/// Error from parsing a JSON-lines document.
+#[derive(Debug)]
+pub struct JsonlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Underlying JSON error.
+    pub source: serde_json::Error,
+}
+
+impl fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "jsonl parse error on line {}: {}", self.line, self.source)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+/// Serializes records as one JSON object per line.
+pub fn to_jsonl<T: Serialize>(items: &[T]) -> String {
+    let mut out = String::new();
+    for item in items {
+        out.push_str(&serde_json::to_string(item).expect("log records serialize infallibly"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one JSON object per line; blank lines are skipped.
+pub fn from_jsonl<T: for<'de> Deserialize<'de>>(doc: &str) -> Result<Vec<T>, JsonlError> {
+    let mut out = Vec::new();
+    for (idx, line) in doc.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item =
+            serde_json::from_str(line).map_err(|source| JsonlError { line: idx + 1, source })?;
+        out.push(item);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynaddr_types::SimDuration;
+
+    fn v4(s: &str) -> PeerAddr {
+        PeerAddr::V4(s.parse().unwrap())
+    }
+
+    fn entry(probe: u32, start: i64, end: i64, peer: &str) -> ConnectionLogEntry {
+        ConnectionLogEntry {
+            probe: ProbeId(probe),
+            start: SimTime(start),
+            end: SimTime(end),
+            peer: v4(peer),
+        }
+    }
+
+    #[test]
+    fn peer_addr_families() {
+        let a = v4("91.55.174.103");
+        assert!(a.is_v4());
+        assert_eq!(a.v4(), Some("91.55.174.103".parse().unwrap()));
+        let b: PeerAddr = "2001:db8::1".parse::<Ipv6Addr>().unwrap().into();
+        assert!(!b.is_v4());
+        assert_eq!(b.v4(), None);
+        assert_eq!(b.to_string(), "2001:db8::1");
+    }
+
+    #[test]
+    fn kroot_all_lost() {
+        let ok = KrootPingRecord {
+            probe: ProbeId(1),
+            timestamp: SimTime(0),
+            sent: 3,
+            success: 3,
+            lts_secs: 86,
+        };
+        assert!(!ok.all_lost());
+        let lost = KrootPingRecord { success: 0, ..ok };
+        assert!(lost.all_lost());
+        let empty = KrootPingRecord { sent: 0, success: 0, ..ok };
+        assert!(!empty.all_lost(), "no pings attempted is not loss");
+    }
+
+    #[test]
+    fn sos_boot_time_matches_paper_example() {
+        // Table 4: uptime 19 at 17:50:55 → boot at 17:50:36.
+        let rec = SosUptimeRecord {
+            probe: ProbeId(206),
+            timestamp: SimTime::from_date(1, 1, 17, 50, 55),
+            uptime_secs: 19,
+        };
+        assert_eq!(rec.boot_time(), SimTime::from_date(1, 1, 17, 50, 36));
+    }
+
+    #[test]
+    fn normalize_sorts_and_slices() {
+        let mut ds = AtlasDataset::default();
+        ds.connections.push(entry(2, 100, 200, "10.0.0.2"));
+        ds.connections.push(entry(1, 300, 400, "10.0.0.1"));
+        ds.connections.push(entry(1, 0, 90, "10.0.0.1"));
+        ds.meta.push(ProbeMeta { probe: ProbeId(2), ..ProbeMeta::default() });
+        ds.meta.push(ProbeMeta { probe: ProbeId(1), ..ProbeMeta::default() });
+        ds.normalize();
+        let one = ds.connections_of(ProbeId(1));
+        assert_eq!(one.len(), 2);
+        assert!(one[0].start < one[1].start);
+        assert_eq!(ds.connections_of(ProbeId(2)).len(), 1);
+        assert_eq!(ds.connections_of(ProbeId(3)).len(), 0);
+        assert!(ds.meta_of(ProbeId(2)).is_some());
+        assert!(ds.meta_of(ProbeId(9)).is_none());
+    }
+
+    #[test]
+    fn jsonl_roundtrip_dataset() {
+        let mut ds = AtlasDataset::default();
+        ds.meta.push(ProbeMeta {
+            probe: ProbeId(206),
+            version: ProbeVersion::V3,
+            country: Country::new("DE").unwrap(),
+            tags: vec![ProbeTag::Home, ProbeTag::Dsl],
+        });
+        ds.connections.push(entry(206, 0, 3600, "91.55.174.103"));
+        ds.kroot.push(KrootPingRecord {
+            probe: ProbeId(206),
+            timestamp: SimTime(120),
+            sent: 3,
+            success: 0,
+            lts_secs: 388,
+        });
+        ds.uptime.push(SosUptimeRecord {
+            probe: ProbeId(206),
+            timestamp: SimTime(0),
+            uptime_secs: 262_531,
+        });
+        ds.normalize();
+        let docs = ds.to_jsonl();
+        let back = AtlasDataset::from_jsonl(&docs).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn jsonl_reports_bad_lines() {
+        let doc = "{\"probe\":1,\"timestamp\":0,\"sent\":3,\"success\":3,\"lts_secs\":10}\nnot json\n";
+        let err = from_jsonl::<KrootPingRecord>(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let doc = "\n{\"probe\":1,\"timestamp\":0,\"sent\":3,\"success\":3,\"lts_secs\":10}\n\n";
+        let recs = from_jsonl::<KrootPingRecord>(doc).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn save_and_load_dir() {
+        let dir = std::env::temp_dir().join(format!("dynaddr-test-{}", std::process::id()));
+        let mut ds = AtlasDataset::default();
+        ds.meta.push(ProbeMeta::default());
+        ds.connections.push(entry(0, 0, 10, "203.0.113.5"));
+        ds.normalize();
+        ds.save_dir(&dir).unwrap();
+        let back = AtlasDataset::load_dir(&dir).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_accepts_clean_and_flags_dirty() {
+        let mut ds = AtlasDataset::default();
+        ds.meta.push(ProbeMeta::default());
+        ds.connections.push(entry(0, 100, 200, "10.0.0.1"));
+        ds.connections.push(entry(0, 300, 400, "10.0.0.1"));
+        ds.kroot.push(KrootPingRecord {
+            probe: ProbeId(0),
+            timestamp: SimTime(50),
+            sent: 3,
+            success: 3,
+            lts_secs: 10,
+        });
+        ds.normalize();
+        assert!(ds.validate().is_empty());
+
+        // Overlap.
+        ds.connections.push(entry(0, 350, 500, "10.0.0.1"));
+        ds.normalize();
+        assert!(ds.validate().iter().any(|p| p.contains("overlapping")));
+
+        // Negative-length entry.
+        let mut bad = AtlasDataset::default();
+        bad.meta.push(ProbeMeta::default());
+        bad.connections.push(entry(0, 200, 100, "10.0.0.1"));
+        bad.normalize();
+        assert!(bad.validate().iter().any(|p| p.contains("ends before")));
+
+        // Orphan rows and impossible ping counts.
+        let mut orphan = AtlasDataset::default();
+        orphan.connections.push(entry(9, 0, 10, "10.0.0.1"));
+        orphan.kroot.push(KrootPingRecord {
+            probe: ProbeId(9),
+            timestamp: SimTime(0),
+            sent: 3,
+            success: 5,
+            lts_secs: 1,
+        });
+        orphan.normalize();
+        let problems = orphan.validate();
+        assert!(problems.iter().any(|p| p.contains("without metadata")));
+        assert!(problems.iter().any(|p| p.contains("exceeds sent")));
+    }
+
+    #[test]
+    fn testing_address_is_ripe_ncc() {
+        assert_eq!(testing_address().to_string(), "193.0.0.78");
+    }
+
+    #[test]
+    fn durations_of_table1_shape() {
+        // Jan 2 02:41:55 → Jan 3 02:18:00 is 23.6 h, matching Table 1.
+        let e = entry(
+            206,
+            SimTime::from_date(1, 2, 2, 41, 55).0,
+            SimTime::from_date(1, 3, 2, 18, 0).0,
+            "91.55.141.95",
+        );
+        let dur: SimDuration = e.end - e.start;
+        assert!((dur.as_hours() - 23.6).abs() < 0.01);
+    }
+}

@@ -1,0 +1,1180 @@
+//! The discrete-event simulation of analyzable probes.
+//!
+//! Each analyzable probe sits behind a CPE attached to one ISP
+//! ([`dynaddr_ispnet::IspNetwork`]). The event loop advances a single global
+//! clock through 2015, processing per-probe events:
+//!
+//! * **outages** (network / power, Poisson arrivals with per-probe rate
+//!   multipliers and heavy-tailed durations) — processed atomically: the
+//!   window is recorded, k-root evidence emitted, and the ISP asked what the
+//!   address looks like after recovery;
+//! * **session-cap expiries** — the ISP-side periodic renumbering;
+//! * **scheduled reconnects** — the CPE-side nightly privacy reconnect;
+//! * **firmware pushes** — probe-only reboots that look like power outages
+//!   until the pipeline's spike filter removes them;
+//! * **controller drops** — TCP breaks with no outage and no change;
+//! * **moves** — probes that switch ISP mid-year (multi-AS probes);
+//! * **administrative renumbering** — one ISP migrating its pool.
+//!
+//! ## Log thinning
+//!
+//! A real probe pings k-root every 4 minutes (~131 k records per probe per
+//! year). Materializing all of them would dominate memory without adding
+//! information: the pipeline only reads k-root records (a) inside outage
+//! windows and (b) immediately around them. We therefore always emit the
+//! 4-minute-grid records *inside and bracketing* every outage window (with
+//! long loss runs thinned to an hourly grid after the first hour — first and
+//! last loss records are always present, which is all the detector uses),
+//! plus all-OK heartbeats at a configurable cadence elsewhere. An
+//! equivalence test in `dynaddr-core` verifies detection output is identical
+//! on full vs thinned grids.
+
+use crate::config::{CpeSchedule, IspSpec, WorldConfig};
+use crate::engine::EventQueue;
+use crate::logs::{
+    AtlasDataset, ConnectionLogEntry, KrootPingRecord, PeerAddr, ProbeMeta, SosUptimeRecord,
+};
+use crate::truth::{
+    ChangeCause, GroundTruth, IspPolicyTruth, TruthChange, TruthOutage, TruthOutageKind,
+};
+use dynaddr_ispnet::pool::{ClientId, PoolConfig};
+use dynaddr_ispnet::{IspNetwork, NextIspAction};
+use dynaddr_types::dist::{poisson_gap, DurationDist};
+use dynaddr_types::rng::SeedTree;
+use dynaddr_types::time::DAY;
+use dynaddr_types::{
+    Asn, Country, ProbeId, ProbeTag, ProbeVersion, SimDuration, SimTime,
+};
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// k-root built-in measurement cadence: every four minutes (§3.4).
+const KROOT_GRID: i64 = 240;
+/// A network outage longer than this breaks the controller TCP connection.
+const TCP_BREAK_SECS: i64 = 180;
+/// After the first hour of a loss run, loss records are thinned to this.
+const LOSS_THIN_SECS: i64 = 3_600;
+
+/// Simulator output: the scraped-looking dataset plus ground truth.
+pub struct SimOutput {
+    /// The three log datasets plus probe metadata, normalized.
+    pub dataset: AtlasDataset,
+    /// What actually happened (never shown to the pipeline).
+    pub truth: GroundTruth,
+}
+
+/// Runs a full-year simulation of the configured world.
+pub fn simulate(config: &WorldConfig) -> SimOutput {
+    let mut sim = Sim::new(config);
+    sim.run();
+    let mut output = SimOutput { dataset: sim.dataset, truth: sim.truth };
+    crate::fill::generate_filler(config, &mut output);
+    output.dataset.normalize();
+    output
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    CapExpiry { p: usize, epoch: u64 },
+    Scheduled { p: usize, epoch: u64 },
+    NetOutage { p: usize },
+    PwOutage { p: usize },
+    Firmware { p: usize },
+    CtrlDrop { p: usize, epoch: u64 },
+    Move { p: usize },
+    AdminRenumber { asn: Asn },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ScheduleCfg {
+    hour: u32,
+    minute: u32,
+    skip_prob: f64,
+}
+
+struct ProbeSim {
+    id: ProbeId,
+    version: ProbeVersion,
+    country: Country,
+    tags: Vec<ProbeTag>,
+    net: usize,
+    client: ClientId,
+    mover_target: Option<(usize, SimTime)>,
+    usb_fate_shared: bool,
+    schedule: Option<ScheduleCfg>,
+    net_rate: f64,
+    pw_rate: f64,
+    net_dur: DurationDist,
+    pw_dur: DurationDist,
+    frail: bool,
+    join: SimTime,
+    // dynamic state
+    epoch: u64,
+    addr: Option<Ipv4Addr>,
+    conn_open: Option<SimTime>,
+    boot_time: SimTime,
+    offline_until: SimTime,
+    kroot_phase: i64,
+    windows: Vec<(SimTime, SimTime)>,
+    rng: ChaCha12Rng,
+}
+
+struct Sim {
+    nets: Vec<IspNetwork>,
+    net_asn: Vec<Asn>,
+    probes: Vec<ProbeSim>,
+    probes_by_asn: BTreeMap<u32, Vec<usize>>,
+    queue: EventQueue<Ev>,
+    dataset: AtlasDataset,
+    truth: GroundTruth,
+    world_rng: ChaCha12Rng,
+    kroot_heartbeat: i64,
+    frail_reboot_prob: f64,
+    ctrl_drop_rate: f64,
+    firmware_dates: Vec<SimTime>,
+    firmware_uptake: f64,
+    admin: Option<(Asn, SimTime, Vec<dynaddr_types::Prefix>)>,
+}
+
+impl Sim {
+    fn new(config: &WorldConfig) -> Sim {
+        let seeds = SeedTree::new(config.seed);
+        let mut nets = Vec::new();
+        let mut net_asn = Vec::new();
+        let mut probes: Vec<ProbeSim> = Vec::new();
+        let mut probes_by_asn: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        let mut truth = GroundTruth {
+            firmware_dates: config.firmware_dates.clone(),
+            ..GroundTruth::default()
+        };
+
+        // Build one IspNetwork per (ISP, access share). Shares use the same
+        // prefix list; address collisions across shares are harmless because
+        // the analysis never compares addresses across probes.
+        let mut isp_nets: Vec<Vec<(usize, &crate::config::AccessShare)>> = Vec::new();
+        for spec in &config.isps {
+            let mut isp_rng = seeds.rng_for_id("isp", spec.asn.0 as u64);
+            let mut share_nets = Vec::new();
+            for (si, share) in spec.shares.iter().enumerate() {
+                let pool_cfg = PoolConfig {
+                    prefixes: spec.prefixes.clone(),
+                    policy: spec.allocation,
+                    background_occupancy: spec.occupancy,
+                };
+                let net =
+                    IspNetwork::new(spec.asn, &pool_cfg, share.access.clone(), &mut isp_rng);
+                nets.push(net);
+                net_asn.push(spec.asn);
+                share_nets.push((nets.len() - 1, share));
+                let _ = si;
+            }
+            isp_nets.push(share_nets);
+
+            let mut periodic_hours: Vec<i64> = spec
+                .shares
+                .iter()
+                .filter_map(|s| s.access.periodic_period().map(|d| d.secs() / 3_600))
+                .collect();
+            periodic_hours.sort_unstable();
+            periodic_hours.dedup();
+            let total_w: f64 = spec.shares.iter().map(|s| s.weight).sum();
+            let periodic_w: f64 = spec
+                .shares
+                .iter()
+                .filter(|s| s.access.periodic_period().is_some() || s.schedule.is_some())
+                .map(|s| s.weight)
+                .sum();
+            truth.isp_policies.insert(
+                spec.asn.0,
+                IspPolicyTruth {
+                    name: spec.name.clone(),
+                    country: spec.country.code().to_string(),
+                    periodic_hours,
+                    renumbers_on_reconnect: spec
+                        .shares
+                        .iter()
+                        .any(|s| s.access.renumbers_on_reconnect()),
+                    periodic_weight: periodic_w / total_w.max(f64::MIN_POSITIVE),
+                    probes: spec.probes,
+                },
+            );
+        }
+
+        // Instantiate analyzable probes.
+        let mut next_probe_id = 1u32;
+        for (isp_idx, spec) in config.isps.iter().enumerate() {
+            for k in 0..spec.probes {
+                let p = make_probe(
+                    &seeds,
+                    spec,
+                    &isp_nets[isp_idx],
+                    next_probe_id,
+                    k,
+                    None,
+                );
+                probes_by_asn.entry(spec.asn.0).or_default().push(probes.len());
+                probes.push(p);
+                next_probe_id += 1;
+            }
+        }
+
+        // Movers: probes that switch between two ISPs mid-year. Hosts move
+        // house, not continent: the partner ISP is the next one in the same
+        // country, falling back to the same continent, then to anything.
+        if config.movers > 0 && config.isps.len() >= 2 {
+            let mut mover_rng = seeds.rng_for("movers");
+            let partner_of = |from: usize| -> usize {
+                let n = config.isps.len();
+                let country = config.isps[from].country;
+                let continent = country.continent();
+                let mut same_continent: Option<usize> = None;
+                for k in 1..n {
+                    let cand = (from + k) % n;
+                    if config.isps[cand].country == country {
+                        return cand;
+                    }
+                    if same_continent.is_none()
+                        && config.isps[cand].country.continent() == continent
+                    {
+                        same_continent = Some(cand);
+                    }
+                }
+                same_continent.unwrap_or((from + 1) % n)
+            };
+            for m in 0..config.movers {
+                let from_isp = m % config.isps.len();
+                let to_isp = partner_of(from_isp);
+                let switch_day = mover_rng.gen_range(60..300);
+                let switch = SimTime(switch_day * DAY + mover_rng.gen_range(0..DAY));
+                // Weighted share pick within the target ISP.
+                let target_shares = &isp_nets[to_isp];
+                let total_w: f64 = target_shares.iter().map(|(_, sh)| sh.weight).sum();
+                let mut pick = mover_rng.gen::<f64>() * total_w;
+                let mut target_net = target_shares[target_shares.len() - 1].0;
+                for &(net, sh) in target_shares {
+                    if pick < sh.weight {
+                        target_net = net;
+                        break;
+                    }
+                    pick -= sh.weight;
+                }
+                let spec = &config.isps[from_isp];
+                let p = make_probe(
+                    &seeds,
+                    spec,
+                    &isp_nets[from_isp],
+                    next_probe_id,
+                    10_000 + m,
+                    Some((target_net, switch)),
+                );
+                probes_by_asn.entry(spec.asn.0).or_default().push(probes.len());
+                probes.push(p);
+                next_probe_id += 1;
+            }
+        }
+
+        Sim {
+            nets,
+            net_asn,
+            probes,
+            probes_by_asn,
+            queue: EventQueue::with_horizon(SimTime::YEAR_END),
+            dataset: AtlasDataset::default(),
+            truth,
+            world_rng: seeds.rng_for("world"),
+            kroot_heartbeat: config.kroot_heartbeat.secs().max(KROOT_GRID),
+            frail_reboot_prob: config.frail_reboot_prob,
+            ctrl_drop_rate: config.controller_drops_per_year / (365.0 * DAY as f64),
+            firmware_dates: config.firmware_dates.clone(),
+            firmware_uptake: config.firmware_uptake,
+            admin: config.admin_renumber.clone(),
+        }
+    }
+
+    fn run(&mut self) {
+        // Seed initial events. Starts are scheduled "now" (before the year)
+        // by running them directly, since the queue horizon only caps the end.
+        for p in 0..self.probes.len() {
+            self.handle_start(p);
+        }
+        if let Some((asn, when, _)) = &self.admin {
+            let (asn, when) = (*asn, *when);
+            self.queue.push(when, Ev::AdminRenumber { asn });
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Ev::CapExpiry { p, epoch } => self.handle_cap(p, epoch, t),
+                Ev::Scheduled { p, epoch } => self.handle_scheduled(p, epoch, t),
+                Ev::NetOutage { p } => self.handle_outage(p, t, false),
+                Ev::PwOutage { p } => self.handle_outage(p, t, true),
+                Ev::Firmware { p } => self.handle_firmware(p, t),
+                Ev::CtrlDrop { p, epoch } => self.handle_ctrl_drop(p, epoch, t),
+                Ev::Move { p } => self.handle_move(p, t),
+                Ev::AdminRenumber { asn } => self.handle_admin(asn, t),
+            }
+        }
+        self.finalize();
+    }
+
+    // ----- connection-log helpers ---------------------------------------
+
+    fn close_conn(&mut self, p: usize, end: SimTime) {
+        let probe = &mut self.probes[p];
+        if let Some(start) = probe.conn_open.take() {
+            let peer = PeerAddr::V4(probe.addr.expect("open connection implies an address"));
+            let end = end.max(start); // zero-length guards
+            self.dataset.connections.push(ConnectionLogEntry {
+                probe: probe.id,
+                start,
+                end,
+                peer,
+            });
+        }
+    }
+
+    fn open_conn(&mut self, p: usize, start: SimTime) {
+        if start >= SimTime::YEAR_END {
+            return;
+        }
+        let frail_roll = {
+            let probe = &mut self.probes[p];
+            probe.frail && probe.rng.gen::<f64>() < self.frail_reboot_prob
+        };
+        if frail_roll {
+            // v1/v2 memory-fragmentation reboot triggered by the new TCP
+            // connection: the uptime counter resets moments before the
+            // connection is (re)established, and a couple of ping rounds
+            // are missed.
+            let probe = &mut self.probes[p];
+            let back = probe.rng.gen_range(30..120);
+            probe.boot_time = start - SimDuration::from_secs(back);
+            let w0 = probe.boot_time - SimDuration::from_secs(90);
+            let w1 = probe.boot_time;
+            probe.windows.push((w0, w1));
+            self.emit_outage_kroot(p, w0, w1, false);
+        }
+        let probe = &mut self.probes[p];
+        probe.conn_open = Some(start);
+        let uptime = (start - probe.boot_time).secs().max(0) as u64;
+        self.dataset.uptime.push(SosUptimeRecord {
+            probe: probe.id,
+            timestamp: start,
+            uptime_secs: uptime,
+        });
+    }
+
+    // ----- k-root helpers -------------------------------------------------
+
+    /// Largest grid instant `<= t` for this probe's ping phase.
+    fn grid_at_or_before(&self, p: usize, t: SimTime) -> SimTime {
+        let phase = self.probes[p].kroot_phase;
+        SimTime(t.0 - (t.0 - phase).rem_euclid(KROOT_GRID))
+    }
+
+    /// Emits the k-root evidence for an outage window `[t0, t1)`.
+    ///
+    /// `probe_alive` — during network outages the probe keeps measuring
+    /// (loss records with growing LTS); during power outages it is silent
+    /// and only the bracketing all-OK records are emitted.
+    fn emit_outage_kroot(&mut self, p: usize, t0: SimTime, t1: SimTime, probe_alive: bool) {
+        let id = self.probes[p].id;
+        let pre = self.grid_at_or_before(p, t0);
+        let base_lts = self.probes[p].rng.gen_range(20..220);
+        self.dataset.kroot.push(KrootPingRecord {
+            probe: id,
+            timestamp: pre,
+            sent: 3,
+            success: 3,
+            lts_secs: base_lts,
+        });
+        if probe_alive {
+            // Loss records at the 4-minute grid, thinned after the first
+            // hour; the final loss record is always emitted (the detector
+            // uses first and last loss only).
+            let mut g = pre + SimDuration::from_secs(KROOT_GRID);
+            let mut last_emitted: Option<SimTime> = None;
+            let mut last_loss: Option<SimTime> = None;
+            while g < t1 {
+                let in_first_hour = (g - t0).secs() <= 3_600;
+                let on_thin_grid = (g.0 - pre.0) % LOSS_THIN_SECS < KROOT_GRID;
+                if in_first_hour || on_thin_grid {
+                    self.dataset.kroot.push(KrootPingRecord {
+                        probe: id,
+                        timestamp: g,
+                        sent: 3,
+                        success: 0,
+                        lts_secs: base_lts + (g - pre).secs(),
+                    });
+                    last_emitted = Some(g);
+                }
+                last_loss = Some(g);
+                g += SimDuration::from_secs(KROOT_GRID);
+            }
+            if let Some(last) = last_loss {
+                if last_emitted != Some(last) {
+                    self.dataset.kroot.push(KrootPingRecord {
+                        probe: id,
+                        timestamp: last,
+                        sent: 3,
+                        success: 0,
+                        lts_secs: base_lts + (last - pre).secs(),
+                    });
+                }
+            }
+        }
+        // First all-OK round after recovery.
+        let mut post = self.grid_at_or_before(p, t1);
+        if post < t1 {
+            post += SimDuration::from_secs(KROOT_GRID);
+        }
+        if post < SimTime::YEAR_END + SimDuration::from_days(1) {
+            let lts = self.probes[p].rng.gen_range(20..220);
+            self.dataset.kroot.push(KrootPingRecord {
+                probe: id,
+                timestamp: post,
+                sent: 3,
+                success: 3,
+                lts_secs: lts,
+            });
+        }
+    }
+
+    // ----- scheduling helpers ----------------------------------------------
+
+    /// Re-arms ISP-side and CPE-side periodic events after a state change.
+    fn rearm(&mut self, p: usize, from: SimTime) {
+        let epoch = self.probes[p].epoch;
+        let client = self.probes[p].client;
+        let net = self.probes[p].net;
+        if let Some(NextIspAction::CapExpiry(t)) = self.nets[net].next_action(client) {
+            self.queue.push(t.max(from), Ev::CapExpiry { p, epoch });
+        }
+        if let Some(s) = self.probes[p].schedule {
+            let t = next_daily(from, s.hour, s.minute);
+            self.queue.push(t, Ev::Scheduled { p, epoch });
+        }
+    }
+
+    fn schedule_outage(&mut self, p: usize, from: SimTime, power: bool) {
+        let probe = &mut self.probes[p];
+        let rate = if power { probe.pw_rate } else { probe.net_rate };
+        if let Some(gap) = poisson_gap(&mut probe.rng, rate) {
+            let ev = if power { Ev::PwOutage { p } } else { Ev::NetOutage { p } };
+            self.queue.push(from + gap, ev);
+        }
+    }
+
+    fn schedule_ctrl_drop(&mut self, p: usize, from: SimTime) {
+        let epoch = self.probes[p].epoch;
+        if let Some(gap) = poisson_gap(&mut self.probes[p].rng, self.ctrl_drop_rate) {
+            self.queue.push(from + gap, Ev::CtrlDrop { p, epoch });
+        }
+    }
+
+    // ----- event handlers ---------------------------------------------------
+
+    fn handle_start(&mut self, p: usize) {
+        let join = self.probes[p].join;
+        let client = self.probes[p].client;
+        let net = self.probes[p].net;
+        let out = {
+            let probe = &mut self.probes[p];
+            self.nets[net].connect(&mut probe.rng, client, join, None)
+        };
+        self.probes[p].addr = Some(out.addr);
+        let delay = self.probes[p].rng.gen_range(5..60);
+        self.open_conn(p, join + SimDuration::from_secs(delay));
+        self.rearm(p, join);
+        self.schedule_outage(p, join, false);
+        self.schedule_outage(p, join, true);
+        self.schedule_ctrl_drop(p, join);
+        if let Some((_, switch)) = self.probes[p].mover_target {
+            self.queue.push(switch, Ev::Move { p });
+        }
+        // Firmware pushes: each update reaches this probe with probability
+        // `firmware_uptake`, staggered over the following 36 hours.
+        for i in 0..self.firmware_dates.len() {
+            let date = self.firmware_dates[i];
+            let probe = &mut self.probes[p];
+            if probe.rng.gen::<f64>() < self.firmware_uptake {
+                let stagger = probe.rng.gen_range(0..(36 * 3_600));
+                self.queue.push(date + SimDuration::from_secs(stagger), Ev::Firmware { p });
+            }
+        }
+    }
+
+    /// An outage hits the CPE/probe at `t`. `power` distinguishes loss of
+    /// power (at the CPE; fate-sharing decides whether the probe dies too)
+    /// from pure connectivity loss.
+    fn handle_outage(&mut self, p: usize, t: SimTime, power: bool) {
+        if t < self.probes[p].offline_until {
+            // Another outage is still in progress; try again after it.
+            let resume = self.probes[p].offline_until;
+            self.schedule_outage(p, resume, power);
+            return;
+        }
+        let dur = {
+            let probe = &mut self.probes[p];
+            let dist = if power { probe.pw_dur.clone() } else { probe.net_dur.clone() };
+            let mut d = dist.sample_duration(&mut probe.rng);
+            if power {
+                // A power cycle is never shorter than the reboot time.
+                d = d.max(SimDuration::from_secs(90));
+            } else {
+                d = d.max(SimDuration::from_secs(20));
+            }
+            d
+        };
+        let end = t + dur;
+        let probe_dies = power && self.probes[p].usb_fate_shared;
+        let kind = match (power, probe_dies) {
+            (true, true) => TruthOutageKind::Power,
+            (true, false) => TruthOutageKind::CpeOnlyPower,
+            (false, _) => TruthOutageKind::Network,
+        };
+        self.probes[p].windows.push((t, end));
+        self.probes[p].offline_until = end;
+        // k-root evidence: the probe keeps measuring unless it lost power.
+        self.emit_outage_kroot(p, t, end, !probe_dies);
+        if probe_dies {
+            self.probes[p].boot_time = end;
+        }
+        self.probes[p].epoch += 1;
+
+        // ISP-side recovery.
+        let client = self.probes[p].client;
+        let net = self.probes[p].net;
+        let out = {
+            let probe = &mut self.probes[p];
+            self.nets[net].connect(&mut probe.rng, client, end, Some(dur))
+        };
+        let changed = self.probes[p].addr != Some(out.addr);
+
+        let breaks = probe_dies || changed || dur.secs() > TCP_BREAK_SECS;
+        if breaks {
+            self.close_conn(p, t);
+        }
+        self.probes[p].addr = Some(out.addr);
+        if breaks {
+            let delay = {
+                let probe = &mut self.probes[p];
+                if changed && !probe_dies {
+                    // TCP retransmission exhaustion before reconnecting.
+                    probe.rng.gen_range(600..1_560)
+                } else {
+                    probe.rng.gen_range(60..240)
+                }
+            };
+            self.open_conn(p, end + SimDuration::from_secs(delay));
+        }
+
+        self.truth.outages.push(TruthOutage {
+            probe: self.probes[p].id,
+            kind,
+            start: t,
+            duration: dur,
+            address_changed: changed,
+        });
+        if changed {
+            self.truth.changes.push(TruthChange {
+                probe: self.probes[p].id,
+                time: end,
+                from: None,
+                to: out.addr,
+                cause: if power { ChangeCause::PowerOutage } else { ChangeCause::NetworkOutage },
+            });
+        }
+        self.rearm(p, end);
+        self.schedule_outage(p, end, power);
+        self.schedule_ctrl_drop(p, end);
+    }
+
+    fn handle_cap(&mut self, p: usize, epoch: u64, t: SimTime) {
+        if self.probes[p].epoch != epoch {
+            return;
+        }
+        if t < self.probes[p].offline_until {
+            // Probe is in a (firmware-style) window; defer.
+            let resume = self.probes[p].offline_until + SimDuration::from_secs(60);
+            self.queue.push(resume, Ev::CapExpiry { p, epoch });
+            return;
+        }
+        let client = self.probes[p].client;
+        let net = self.probes[p].net;
+        let out = {
+            let probe = &mut self.probes[p];
+            self.nets[net].handle_action(&mut probe.rng, client, t)
+        };
+        // Judge the change against the probe's own view — the server's
+        // memory may have been reset by administrative renumbering.
+        let changed = self.probes[p].addr != Some(out.addr);
+        if !changed {
+            // Skipped termination: session runs another period.
+            if let Some(NextIspAction::CapExpiry(next)) = self.nets[net].next_action(client) {
+                self.queue.push(next, Ev::CapExpiry { p, epoch });
+            }
+            return;
+        }
+        self.close_conn(p, t);
+        self.probes[p].addr = Some(out.addr);
+        self.probes[p].epoch += 1;
+        let delay = self.probes[p].rng.gen_range(600..1_560);
+        self.open_conn(p, t + SimDuration::from_secs(delay));
+        let cause = match self.nets[net].access() {
+            dynaddr_ispnet::AccessConfig::Dhcp(_) => ChangeCause::PoolRotation,
+            dynaddr_ispnet::AccessConfig::Ppp(_) => ChangeCause::PeriodicCap,
+        };
+        self.truth.changes.push(TruthChange {
+            probe: self.probes[p].id,
+            time: t,
+            from: None,
+            to: out.addr,
+            cause,
+        });
+        self.rearm(p, t);
+    }
+
+    fn handle_scheduled(&mut self, p: usize, epoch: u64, t: SimTime) {
+        if self.probes[p].epoch != epoch {
+            return;
+        }
+        if t < self.probes[p].offline_until {
+            let resume = self.probes[p].offline_until + SimDuration::from_secs(60);
+            self.queue.push(resume, Ev::Scheduled { p, epoch });
+            return;
+        }
+        let (skip, hour, minute) = {
+            let s = self.probes[p].schedule.expect("scheduled event without schedule");
+            let roll = self.probes[p].rng.gen::<f64>() < s.skip_prob;
+            (roll, s.hour, s.minute)
+        };
+        if skip {
+            let next = next_daily(t, hour, minute);
+            self.queue.push(next, Ev::Scheduled { p, epoch });
+            return;
+        }
+        let client = self.probes[p].client;
+        let net = self.probes[p].net;
+        let out = {
+            let probe = &mut self.probes[p];
+            self.nets[net].force_reconnect(&mut probe.rng, client, t)
+        };
+        let changed = self.probes[p].addr != Some(out.addr);
+        self.close_conn(p, t);
+        self.probes[p].addr = Some(out.addr);
+        self.probes[p].epoch += 1;
+        let delay = if changed {
+            self.probes[p].rng.gen_range(600..1_560)
+        } else {
+            self.probes[p].rng.gen_range(60..240)
+        };
+        self.open_conn(p, t + SimDuration::from_secs(delay));
+        if changed {
+            self.truth.changes.push(TruthChange {
+                probe: self.probes[p].id,
+                time: t,
+                from: None,
+                to: out.addr,
+                cause: ChangeCause::ScheduledReconnect,
+            });
+        }
+        self.rearm(p, t);
+    }
+
+    fn handle_firmware(&mut self, p: usize, t: SimTime) {
+        if t < self.probes[p].offline_until || t < self.probes[p].join {
+            return; // picked up with the next push
+        }
+        let reboot_secs = self.probes[p].rng.gen_range(120..300);
+        let end = t + SimDuration::from_secs(reboot_secs);
+        self.close_conn(p, t);
+        self.probes[p].windows.push((t, end));
+        self.probes[p].offline_until = end;
+        self.emit_outage_kroot(p, t, end, false);
+        self.probes[p].boot_time = end;
+        self.truth.firmware_reboots.push((self.probes[p].id, end));
+        let delay = self.probes[p].rng.gen_range(30..90);
+        // Same CPE, same address: the probe reconnects as it was.
+        self.open_conn(p, end + SimDuration::from_secs(delay));
+    }
+
+    fn handle_ctrl_drop(&mut self, p: usize, epoch: u64, t: SimTime) {
+        if self.probes[p].epoch != epoch {
+            return;
+        }
+        if t >= self.probes[p].offline_until && self.probes[p].conn_open.is_some() {
+            self.close_conn(p, t);
+            let delay = self.probes[p].rng.gen_range(45..180);
+            self.open_conn(p, t + SimDuration::from_secs(delay));
+        }
+        self.schedule_ctrl_drop(p, t);
+    }
+
+    fn handle_move(&mut self, p: usize, t: SimTime) {
+        let (target_net, _) = self.probes[p].mover_target.expect("move without target");
+        self.close_conn(p, t);
+        let old_net = self.probes[p].net;
+        let client = self.probes[p].client;
+        self.nets[old_net].disconnect(client);
+        // The physical move takes hours to days; the probe is unpowered.
+        let gap_secs = self.probes[p].rng.gen_range(3_600..(72 * 3_600));
+        let end = t + SimDuration::from_secs(gap_secs);
+        self.probes[p].windows.push((t, end));
+        self.probes[p].offline_until = end;
+        self.probes[p].boot_time = end;
+        self.probes[p].epoch += 1;
+        self.probes[p].net = target_net;
+        let out = {
+            let probe = &mut self.probes[p];
+            self.nets[target_net].connect(&mut probe.rng, client, end, None)
+        };
+        self.probes[p].addr = Some(out.addr);
+        let delay = self.probes[p].rng.gen_range(60..240);
+        self.open_conn(p, end + SimDuration::from_secs(delay));
+        self.truth.changes.push(TruthChange {
+            probe: self.probes[p].id,
+            time: end,
+            from: None,
+            to: out.addr,
+            cause: ChangeCause::Moved,
+        });
+        self.rearm(p, end);
+    }
+
+    fn handle_admin(&mut self, asn: Asn, t: SimTime) {
+        let (_, _, new_prefixes) = self.admin.clone().expect("admin event without config");
+        self.truth.admin_renumbering = Some((asn, t));
+        // Rebuild every share-net of this ASN.
+        for (i, net_asn) in self.net_asn.clone().into_iter().enumerate() {
+            if net_asn == asn {
+                let occ = 0.4;
+                self.nets[i].admin_renumber(&mut self.world_rng, new_prefixes.clone(), occ);
+            }
+        }
+        let members = self.probes_by_asn.get(&asn.0).cloned().unwrap_or_default();
+        for p in members {
+            if t < self.probes[p].offline_until || self.probes[p].net_asn_changed(&self.net_asn, asn)
+            {
+                continue;
+            }
+            let stagger = self.probes[p].rng.gen_range(0..1_800);
+            let when = t + SimDuration::from_secs(stagger);
+            self.close_conn(p, when);
+            self.probes[p].epoch += 1;
+            let client = self.probes[p].client;
+            let net = self.probes[p].net;
+            let out = {
+                let probe = &mut self.probes[p];
+                self.nets[net].connect(&mut probe.rng, client, when, None)
+            };
+            self.probes[p].addr = Some(out.addr);
+            let delay = self.probes[p].rng.gen_range(600..1_560);
+            self.open_conn(p, when + SimDuration::from_secs(delay));
+            self.truth.changes.push(TruthChange {
+                probe: self.probes[p].id,
+                time: when,
+                from: None,
+                to: out.addr,
+                cause: ChangeCause::AdminRenumber,
+            });
+            self.rearm(p, when);
+        }
+    }
+
+    // ----- finalization -------------------------------------------------------
+
+    fn finalize(&mut self) {
+        // Close still-open connections at the collection horizon.
+        for p in 0..self.probes.len() {
+            self.close_conn(p, SimTime::YEAR_END);
+        }
+        // Heartbeats + metadata.
+        for p in 0..self.probes.len() {
+            self.emit_heartbeats(p);
+            let probe = &self.probes[p];
+            self.dataset.meta.push(ProbeMeta {
+                probe: probe.id,
+                version: probe.version,
+                country: probe.country,
+                tags: probe.tags.clone(),
+            });
+        }
+    }
+
+    fn emit_heartbeats(&mut self, p: usize) {
+        let (id, join, phase) =
+            (self.probes[p].id, self.probes[p].join, self.probes[p].kroot_phase);
+        let step = self.kroot_heartbeat;
+        let mut windows = self.probes[p].windows.clone();
+        windows.sort();
+        let mut w = 0usize;
+        let mut t = SimTime(join.0 - (join.0 - phase).rem_euclid(KROOT_GRID)) + SimDuration::from_secs(step);
+        let guard = SimDuration::from_secs(KROOT_GRID + 60);
+        while t < SimTime::YEAR_END {
+            while w < windows.len() && windows[w].1 + guard < t {
+                w += 1;
+            }
+            let inside = w < windows.len() && windows[w].0 - guard <= t && t <= windows[w].1 + guard;
+            if !inside {
+                let lts = self.probes[p].rng.gen_range(20..220);
+                self.dataset.kroot.push(KrootPingRecord {
+                    probe: id,
+                    timestamp: t,
+                    sent: 3,
+                    success: 3,
+                    lts_secs: lts,
+                });
+            }
+            t += SimDuration::from_secs(step);
+        }
+    }
+}
+
+impl ProbeSim {
+    /// Whether this probe has already moved away from `asn` (movers keep
+    /// their original ASN registration in `probes_by_asn`).
+    fn net_asn_changed(&self, net_asn: &[Asn], asn: Asn) -> bool {
+        net_asn[self.net] != asn
+    }
+}
+
+/// Next instant strictly after `from` at the given GMT hour:minute.
+fn next_daily(from: SimTime, hour: u32, minute: u32) -> SimTime {
+    let tod = i64::from(hour) * 3_600 + i64::from(minute) * 60;
+    let day = from.0.div_euclid(DAY);
+    let mut t = SimTime(day * DAY + tod);
+    while t <= from {
+        t += SimDuration::from_days(1);
+    }
+    t
+}
+
+fn make_probe(
+    seeds: &SeedTree,
+    spec: &IspSpec,
+    share_nets: &[(usize, &crate::config::AccessShare)],
+    id: u32,
+    ordinal: usize,
+    mover_target: Option<(usize, SimTime)>,
+) -> ProbeSim {
+    let mut rng = seeds.rng_for_id("probe", u64::from(id));
+
+    // Pick an access share by weight.
+    let total_w: f64 = share_nets.iter().map(|(_, s)| s.weight).sum();
+    let mut pick = rng.gen::<f64>() * total_w;
+    let mut chosen = share_nets[share_nets.len() - 1];
+    for &(net, share) in share_nets {
+        if pick < share.weight {
+            chosen = (net, share);
+            break;
+        }
+        pick -= share.weight;
+    }
+    let (net, share) = chosen;
+
+    let schedule = share.schedule.and_then(|s: CpeSchedule| {
+        if rng.gen::<f64>() < s.adoption {
+            let span = if s.window_end_hour >= s.window_start_hour {
+                s.window_end_hour - s.window_start_hour
+            } else {
+                24 - s.window_start_hour + s.window_end_hour
+            };
+            let hour = (s.window_start_hour + rng.gen_range(0..span.max(1))) % 24;
+            Some(ScheduleCfg { hour, minute: rng.gen_range(0..60), skip_prob: s.skip_prob })
+        } else {
+            None
+        }
+    });
+
+    let version = {
+        let (v1, v2, v3) = spec.version_mix;
+        let total = v1 + v2 + v3;
+        let roll = rng.gen::<f64>() * total;
+        if roll < v1 {
+            ProbeVersion::V1
+        } else if roll < v1 + v2 {
+            ProbeVersion::V2
+        } else {
+            ProbeVersion::V3
+        }
+    };
+
+    // Per-probe outage-rate multiplier: households differ.
+    let mult = (rng.gen::<f64>() * 1.6 + 0.4).max(0.1); // U(0.4, 2.0)
+    let year_secs = 365.0 * DAY as f64;
+
+    // Most probes were deployed before 2015; some join during the year.
+    let join = if ordinal % 7 == 6 {
+        SimTime(rng.gen_range(0..(300 * DAY)))
+    } else {
+        SimTime(-rng.gen_range(1..(30 * DAY)))
+    };
+
+    ProbeSim {
+        id: ProbeId(id),
+        version,
+        country: spec.country,
+        tags: vec![ProbeTag::Home],
+        net,
+        client: ClientId(u64::from(id)),
+        mover_target,
+        usb_fate_shared: rng.gen::<f64>() < spec.usb_fate_shared,
+        schedule,
+        net_rate: spec.outages.network_per_year * mult / year_secs,
+        pw_rate: spec.outages.power_per_year * mult / year_secs,
+        net_dur: spec.outages.network_duration.clone(),
+        pw_dur: spec.outages.power_duration.clone(),
+        frail: !version.reliable_uptime(),
+        join,
+        epoch: 0,
+        addr: None,
+        conn_open: None,
+        boot_time: join - SimDuration::from_days(3),
+        offline_until: join,
+        kroot_phase: i64::from(id) % KROOT_GRID,
+        windows: Vec::new(),
+        rng,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AccessShare, FillerSpec, OutageSpec};
+    use dynaddr_ispnet::pool::AllocationPolicy;
+    use dynaddr_ispnet::{AccessConfig, DhcpConfig, PppConfig};
+
+    fn tiny_world() -> WorldConfig {
+        let mut w = WorldConfig::empty(42);
+        let mut periodic = IspSpec::new("PeriodicNet", 64500, "DE", 6);
+        periodic.prefixes = vec!["10.0.0.0/18".parse().unwrap(), "10.64.0.0/18".parse().unwrap()];
+        periodic.allocation = AllocationPolicy::RandomAny;
+        periodic.shares = vec![AccessShare {
+            weight: 1.0,
+            access: AccessConfig::Ppp(PppConfig {
+                session_cap: Some(SimDuration::from_hours(24)),
+                ..PppConfig::default()
+            }),
+            schedule: None,
+        }];
+        let mut stable = IspSpec::new("StableNet", 64501, "US", 6);
+        stable.prefixes = vec!["172.16.0.0/18".parse().unwrap()];
+        stable.outages = OutageSpec::stable();
+        stable.shares = vec![AccessShare {
+            weight: 1.0,
+            access: AccessConfig::Dhcp(DhcpConfig {
+                churn_rate_per_hour: 0.01,
+                ..DhcpConfig::default()
+            }),
+            schedule: None,
+        }];
+        w.isps = vec![periodic, stable];
+        w.filler = FillerSpec::none();
+        w.firmware_dates = WorldConfig::firmware_dates_2015();
+        w
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let w = tiny_world();
+        let a = simulate(&w);
+        let b = simulate(&w);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.truth.changes.len(), b.truth.changes.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w = tiny_world();
+        let mut w2 = w.clone();
+        w2.seed = 43;
+        let a = simulate(&w);
+        let b = simulate(&w2);
+        assert_ne!(a.dataset.connections, b.dataset.connections);
+    }
+
+    #[test]
+    fn periodic_isp_produces_daily_changes() {
+        let out = simulate(&tiny_world());
+        let periodic_changes = out
+            .truth
+            .changes
+            .iter()
+            .filter(|c| {
+                matches!(c.cause, ChangeCause::PeriodicCap | ChangeCause::ScheduledReconnect)
+            })
+            .count();
+        // 6 probes × ~365 daily changes, minus outage interruptions.
+        assert!(
+            periodic_changes > 6 * 250,
+            "expected thousands of periodic changes, got {periodic_changes}"
+        );
+    }
+
+    #[test]
+    fn connection_logs_are_well_formed() {
+        let out = simulate(&tiny_world());
+        assert!(!out.dataset.connections.is_empty());
+        for c in &out.dataset.connections {
+            assert!(c.end >= c.start, "entry with negative duration: {c:?}");
+            assert!(c.end <= SimTime::YEAR_END);
+        }
+        // Entries of each probe must not overlap.
+        for meta in &out.dataset.meta {
+            let entries = out.dataset.connections_of(meta.probe);
+            for pair in entries.windows(2) {
+                assert!(
+                    pair[1].start >= pair[0].end,
+                    "overlapping connections for {}: {:?} then {:?}",
+                    meta.probe,
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uptime_records_match_connections() {
+        let out = simulate(&tiny_world());
+        // One SOS record per connection start within the year.
+        let starts: usize = out
+            .dataset
+            .connections
+            .iter()
+            .filter(|c| c.start < SimTime::YEAR_END)
+            .count();
+        assert_eq!(out.dataset.uptime.len(), starts);
+    }
+
+    #[test]
+    fn outage_truth_recorded_for_both_kinds() {
+        let out = simulate(&tiny_world());
+        let nw = out
+            .truth
+            .outages
+            .iter()
+            .filter(|o| o.kind == TruthOutageKind::Network)
+            .count();
+        let pw = out
+            .truth
+            .outages
+            .iter()
+            .filter(|o| o.kind == TruthOutageKind::Power)
+            .count();
+        assert!(nw > 50, "network outages: {nw}");
+        assert!(pw > 20, "power outages: {pw}");
+    }
+
+    #[test]
+    fn ppp_changes_on_most_outages_dhcp_rarely() {
+        let out = simulate(&tiny_world());
+        let rate_for = |asn_probe_low: bool| {
+            let (mut changed, mut total) = (0, 0);
+            for o in &out.truth.outages {
+                // Probes 1..=6 are PeriodicNet (PPP), 7..=12 StableNet (DHCP).
+                let is_ppp = o.probe.0 <= 6;
+                if is_ppp == asn_probe_low && o.kind == TruthOutageKind::Network {
+                    total += 1;
+                    if o.address_changed {
+                        changed += 1;
+                    }
+                }
+            }
+            changed as f64 / total.max(1) as f64
+        };
+        let ppp_rate = rate_for(true);
+        let dhcp_rate = rate_for(false);
+        assert!(ppp_rate > 0.6, "PPP outage-change rate {ppp_rate}");
+        assert!(dhcp_rate < 0.3, "DHCP outage-change rate {dhcp_rate}");
+        assert!(ppp_rate > dhcp_rate + 0.3);
+    }
+
+    #[test]
+    fn firmware_reboots_cluster_on_push_dates() {
+        let out = simulate(&tiny_world());
+        assert!(!out.truth.firmware_reboots.is_empty());
+        for (_, t) in &out.truth.firmware_reboots {
+            let close = WorldConfig::firmware_dates_2015()
+                .iter()
+                .any(|d| (*t - *d).secs() >= 0 && (*t - *d).secs() < 37 * 3_600);
+            assert!(close, "firmware reboot at {t} not near any push date");
+        }
+    }
+
+    #[test]
+    fn kroot_evidence_exists_for_network_outages() {
+        let out = simulate(&tiny_world());
+        let lost = out.dataset.kroot.iter().filter(|k| k.all_lost()).count();
+        assert!(lost > 100, "lost-ping records: {lost}");
+        // LTS grows during loss runs.
+        let mut prev: Option<&KrootPingRecord> = None;
+        let mut grew = 0;
+        for k in &out.dataset.kroot {
+            if let Some(p) = prev {
+                if p.probe == k.probe && p.all_lost() && k.all_lost() {
+                    assert!(k.lts_secs > p.lts_secs, "LTS must grow in a loss run");
+                    grew += 1;
+                }
+            }
+            prev = Some(k);
+        }
+        assert!(grew > 10);
+    }
+
+    #[test]
+    fn movers_change_as() {
+        let mut w = tiny_world();
+        w.movers = 2;
+        let out = simulate(&w);
+        let moved: Vec<_> = out
+            .truth
+            .changes
+            .iter()
+            .filter(|c| c.cause == ChangeCause::Moved)
+            .collect();
+        assert_eq!(moved.len(), 2);
+        // Mover address must come from the target ISP's space after moving.
+        for c in moved {
+            assert!(
+                "172.16.0.0/18".parse::<dynaddr_types::Prefix>().unwrap().contains(c.to)
+                    || "10.0.0.0/8".parse::<dynaddr_types::Prefix>().unwrap().contains(c.to),
+            );
+        }
+    }
+
+    #[test]
+    fn admin_renumber_moves_isp_probes() {
+        let mut w = tiny_world();
+        w.admin_renumber = Some((
+            Asn(64501),
+            SimTime::from_date(6, 15, 3, 0, 0),
+            vec!["198.18.0.0/17".parse().unwrap()],
+        ));
+        let out = simulate(&w);
+        let admin: Vec<_> = out
+            .truth
+            .changes
+            .iter()
+            .filter(|c| c.cause == ChangeCause::AdminRenumber)
+            .collect();
+        assert!(!admin.is_empty());
+        for c in &admin {
+            assert!("198.18.0.0/17".parse::<dynaddr_types::Prefix>().unwrap().contains(c.to));
+        }
+    }
+
+    #[test]
+    fn next_daily_computes_following_occurrence() {
+        let from = SimTime::from_date(3, 10, 5, 30, 0);
+        let t = next_daily(from, 4, 0);
+        assert_eq!(t, SimTime::from_date(3, 11, 4, 0, 0));
+        let t2 = next_daily(from, 6, 0);
+        assert_eq!(t2, SimTime::from_date(3, 10, 6, 0, 0));
+        // Exactly at the boundary: strictly after.
+        let at = SimTime::from_date(3, 10, 4, 0, 0);
+        assert_eq!(next_daily(at, 4, 0), SimTime::from_date(3, 11, 4, 0, 0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Ground truth emitted by the simulator alongside the logs.
+//!
+//! The paper validates inferences against private ISP communication; we can
+//! do better — the simulator knows exactly why every address changed and
+//! when every outage happened. The analysis pipeline never sees this; tests
+//! and `EXPERIMENTS.md` compare pipeline inferences against it.
+
+use dynaddr_types::{Asn, ProbeId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Why an address change happened, from the simulator's omniscient view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChangeCause {
+    /// ISP session cap (periodic renumbering) fired.
+    PeriodicCap,
+    /// DHCP administrative pool rotation moved the client (non-periodic,
+    /// weeks-scale churn).
+    PoolRotation,
+    /// CPE's scheduled nightly reconnect (privacy feature) fired.
+    ScheduledReconnect,
+    /// Recovery from a network outage.
+    NetworkOutage,
+    /// Recovery from a power outage (includes CPE reboots).
+    PowerOutage,
+    /// Administrative en-masse renumbering.
+    AdminRenumber,
+    /// The probe physically moved to a different ISP.
+    Moved,
+}
+
+/// One address change with its true cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthChange {
+    /// Affected probe.
+    pub probe: ProbeId,
+    /// When the new address took effect.
+    pub time: SimTime,
+    /// Address before the change (None at first assignment).
+    pub from: Option<Ipv4Addr>,
+    /// Address after the change.
+    pub to: Ipv4Addr,
+    /// Why it changed.
+    pub cause: ChangeCause,
+}
+
+/// Kind of a true outage event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TruthOutageKind {
+    /// Loss of connectivity while the probe stayed powered.
+    Network,
+    /// Loss of power to CPE and probe (fate-shared), incl. reboots.
+    Power,
+    /// Loss of power to the CPE only (probe on independent power) — appears
+    /// to the probe as a network outage.
+    CpeOnlyPower,
+    /// Probe-only reboot (firmware update or v1/v2 fragility); the CPE and
+    /// its address are unaffected.
+    ProbeOnlyReboot,
+}
+
+/// One true outage event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthOutage {
+    /// Affected probe.
+    pub probe: ProbeId,
+    /// Outage kind.
+    pub kind: TruthOutageKind,
+    /// When connectivity/power was lost.
+    pub start: SimTime,
+    /// How long it lasted.
+    pub duration: SimDuration,
+    /// Whether the recovery came with a new address.
+    pub address_changed: bool,
+}
+
+/// Ground-truth summary of one ISP's configured policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspPolicyTruth {
+    /// ISP display name.
+    pub name: String,
+    /// Country code of the ISP's main footprint.
+    pub country: String,
+    /// Configured periodic renumbering period in hours, if any. Mixed
+    /// deployments may carry several (e.g. Orange Polska's 22 h and 24 h).
+    pub periodic_hours: Vec<i64>,
+    /// Whether reconnects renumber (PPP-style).
+    pub renumbers_on_reconnect: bool,
+    /// Fraction of the customer base on periodically-renumbered plans.
+    pub periodic_weight: f64,
+    /// Number of simulated probes in the ISP.
+    pub probes: usize,
+}
+
+/// Everything the simulator knows that the pipeline must re-infer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Every address change with its cause.
+    pub changes: Vec<TruthChange>,
+    /// Every outage event.
+    pub outages: Vec<TruthOutage>,
+    /// Probe reboots caused by firmware pushes: (probe, reboot time).
+    pub firmware_reboots: Vec<(ProbeId, SimTime)>,
+    /// Configured policy per ISP ASN.
+    pub isp_policies: BTreeMap<u32, IspPolicyTruth>,
+    /// The dates firmware updates were pushed.
+    pub firmware_dates: Vec<SimTime>,
+    /// ASN that performed an administrative renumbering, with the date.
+    pub admin_renumbering: Option<(Asn, SimTime)>,
+}
+
+impl GroundTruth {
+    /// Changes recorded for one probe, in time order.
+    pub fn changes_of(&self, probe: ProbeId) -> Vec<&TruthChange> {
+        let mut v: Vec<&TruthChange> =
+            self.changes.iter().filter(|c| c.probe == probe).collect();
+        v.sort_by_key(|c| c.time);
+        v
+    }
+
+    /// Counts changes by cause across all probes.
+    pub fn cause_histogram(&self) -> BTreeMap<String, usize> {
+        let mut h = BTreeMap::new();
+        for c in &self.changes {
+            *h.entry(format!("{:?}", c.cause)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Fraction of outages of a kind that changed the address.
+    pub fn outage_change_rate(&self, kind: TruthOutageKind) -> Option<f64> {
+        let of_kind: Vec<&TruthOutage> =
+            self.outages.iter().filter(|o| o.kind == kind).collect();
+        if of_kind.is_empty() {
+            return None;
+        }
+        let changed = of_kind.iter().filter(|o| o.address_changed).count();
+        Some(changed as f64 / of_kind.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn change(probe: u32, time: i64, cause: ChangeCause) -> TruthChange {
+        TruthChange {
+            probe: ProbeId(probe),
+            time: SimTime(time),
+            from: None,
+            to: Ipv4Addr::new(10, 0, 0, 1),
+            cause,
+        }
+    }
+
+    #[test]
+    fn changes_of_sorts_by_time() {
+        let mut gt = GroundTruth::default();
+        gt.changes.push(change(1, 500, ChangeCause::PeriodicCap));
+        gt.changes.push(change(1, 100, ChangeCause::NetworkOutage));
+        gt.changes.push(change(2, 50, ChangeCause::Moved));
+        let of_one = gt.changes_of(ProbeId(1));
+        assert_eq!(of_one.len(), 2);
+        assert!(of_one[0].time < of_one[1].time);
+    }
+
+    #[test]
+    fn cause_histogram_counts() {
+        let mut gt = GroundTruth::default();
+        gt.changes.push(change(1, 0, ChangeCause::PeriodicCap));
+        gt.changes.push(change(1, 1, ChangeCause::PeriodicCap));
+        gt.changes.push(change(2, 2, ChangeCause::PowerOutage));
+        let h = gt.cause_histogram();
+        assert_eq!(h.get("PeriodicCap"), Some(&2));
+        assert_eq!(h.get("PowerOutage"), Some(&1));
+    }
+
+    #[test]
+    fn outage_change_rate() {
+        let mut gt = GroundTruth::default();
+        for (i, changed) in [(0, true), (1, true), (2, false), (3, false)] {
+            gt.outages.push(TruthOutage {
+                probe: ProbeId(i),
+                kind: TruthOutageKind::Network,
+                start: SimTime(0),
+                duration: SimDuration::from_mins(5),
+                address_changed: changed,
+            });
+        }
+        assert_eq!(gt.outage_change_rate(TruthOutageKind::Network), Some(0.5));
+        assert_eq!(gt.outage_change_rate(TruthOutageKind::Power), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Micro-benches for the ISP substrate: pool allocation under load, DHCP
+//! lease churn, and PPP session turnover.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynaddr_ispnet::pool::{AddressPool, AllocationPolicy, ClientId, PoolConfig};
+use dynaddr_ispnet::{DhcpConfig, DhcpServer, PppConfig, PppServer};
+use dynaddr_types::{SimDuration, SimTime};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn pool_config(policy: AllocationPolicy) -> PoolConfig {
+    PoolConfig {
+        prefixes: vec![
+            "10.0.0.0/16".parse().unwrap(),
+            "11.0.0.0/16".parse().unwrap(),
+            "12.0.0.0/16".parse().unwrap(),
+        ],
+        policy,
+        background_occupancy: 0.7,
+    }
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_allocate_release_cycle");
+    for (label, policy) in [
+        ("prefer_previous", AllocationPolicy::PreferPrevious),
+        ("random_any", AllocationPolicy::RandomAny),
+        ("same_prefix_bias", AllocationPolicy::SamePrefixBias(0.7)),
+    ] {
+        group.bench_function(label, |b| {
+            let mut rng = ChaCha12Rng::seed_from_u64(1);
+            let mut pool = AddressPool::new(&pool_config(policy), &mut rng);
+            let mut prev = None;
+            b.iter(|| {
+                let a = pool.allocate(&mut rng, ClientId(1), prev).expect("space");
+                pool.release(ClientId(1));
+                prev = Some(a);
+                a
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dhcp_outage_recovery(c: &mut Criterion) {
+    // Expired re-acquires consume pool capacity when background churn claims
+    // the old address (exactly as in a real year), so the bench runs batches
+    // of 1,000 re-acquires against fresh server+pool state.
+    c.bench_function("dhcp_expired_reacquire_x1000", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = ChaCha12Rng::seed_from_u64(2);
+                let mut pool =
+                    AddressPool::new(&pool_config(AllocationPolicy::PreferPrevious), &mut rng);
+                let mut server = DhcpServer::new(DhcpConfig::default());
+                server.acquire(&mut pool, &mut rng, ClientId(1), SimTime(0));
+                (rng, pool, server)
+            },
+            |(mut rng, mut pool, mut server)| {
+                let mut now = SimTime(0);
+                for _ in 0..1_000 {
+                    now += SimDuration::from_hours(30); // always past expiry
+                    server.acquire(&mut pool, &mut rng, ClientId(1), now);
+                }
+                (pool, server)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_ppp_session_turnover(c: &mut Criterion) {
+    c.bench_function("ppp_cap_expiry_renumber", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut pool = AddressPool::new(&pool_config(AllocationPolicy::RandomAny), &mut rng);
+        let mut server = PppServer::new(PppConfig {
+            session_cap: Some(SimDuration::from_hours(24)),
+            ..PppConfig::default()
+        });
+        let mut now = SimTime(0);
+        server.connect(&mut pool, &mut rng, ClientId(1), now, None);
+        b.iter(|| {
+            now += SimDuration::from_hours(24);
+            server.on_cap_expiry(&mut pool, &mut rng, ClientId(1), now)
+        })
+    });
+}
+
+criterion_group!(benches, bench_pool, bench_dhcp_outage_recovery, bench_ppp_session_turnover);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation bench: longest-prefix-match trie vs naive linear scan.
+//!
+//! The IP-to-AS substrate answers one lookup per connection-log entry and
+//! two per address change; DESIGN.md calls out the trie as a design choice
+//! worth quantifying.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynaddr_ip2as::RouteTable;
+use dynaddr_types::{Asn, Prefix};
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+fn synthetic_table(prefixes: usize, seed: u64) -> RouteTable {
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+    let mut table = RouteTable::new();
+    let mut n = 0;
+    while n < prefixes {
+        let base = Ipv4Addr::new(
+            rng.gen_range(1..224),
+            rng.gen_range(0..=255),
+            rng.gen_range(0..=255),
+            0,
+        );
+        let len = rng.gen_range(8..=24);
+        let p = Prefix::new(base, len).expect("len in range");
+        if table.announce(p, Asn(rng.gen_range(1..65_000))).is_none() {
+            n += 1;
+        }
+    }
+    table
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+    let queries: Vec<Ipv4Addr> = (0..200).map(|_| Ipv4Addr::from(rng.gen::<u32>())).collect();
+    let mut group = c.benchmark_group("lpm_200_lookups");
+    group.sample_size(20);
+    for &size in &[100usize, 1_000, 10_000] {
+        let table = synthetic_table(size, 42);
+        group.bench_with_input(BenchmarkId::new("trie", size), &table, |b, t| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    if t.origin(*q).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear", size), &table, |b, t| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    if t.origin_linear(*q).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("trie_build_10k_prefixes", |b| {
+        b.iter(|| synthetic_table(10_000, 42))
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Simulation throughput: how fast a measurement year runs at different
+//! world scales, and how the pieces (event loop vs filler generation)
+//! contribute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynaddr_atlas::world::paper_world;
+use dynaddr_atlas::{simulate, FillerSpec};
+
+fn bench_scales(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_year");
+    group.sample_size(10);
+    for &scale in &[0.02f64, 0.05, 0.1] {
+        let world = paper_world(scale, 5);
+        group.bench_with_input(
+            BenchmarkId::new("paper_world", format!("{scale}")),
+            &world,
+            |b, w| b.iter(|| simulate(w)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_analyzable_only(c: &mut Criterion) {
+    // Event-driven probes without filler: the event loop in isolation.
+    let mut world = paper_world(0.05, 5);
+    world.filler = FillerSpec::none();
+    world.movers = 0;
+    let mut group = c.benchmark_group("simulate_year");
+    group.sample_size(10);
+    group.bench_function("event_loop_only_0.05", |b| b.iter(|| simulate(&world)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_scales, bench_analyzable_only);
+criterion_main!(benches);

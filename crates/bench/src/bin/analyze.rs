@@ -1,0 +1,74 @@
+//! `analyze` — run the paper's full pipeline over a dataset directory.
+//!
+//! Usage:
+//!   analyze --data DIR [--report FILE] [--json FILE]
+//!
+//! DIR must contain the four `.jsonl` log files and an `ip2as/` snapshot
+//! directory (the layout the `simulate` binary writes; real scraped data in
+//! the same schemas works identically). Prints the full text report to
+//! stdout; `--report` also writes it to a file, `--json` dumps the
+//! structured `AnalysisReport`.
+
+use dynaddr_atlas::logs::AtlasDataset;
+use dynaddr_core::pipeline::{analyze, AnalysisConfig};
+use dynaddr_core::report::render_full;
+use dynaddr_ip2as::MonthlySnapshots;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn main() {
+    let mut data: Option<PathBuf> = None;
+    let mut report_file: Option<PathBuf> = None;
+    let mut json_file: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--data" => data = Some(PathBuf::from(args.next().expect("--data dir"))),
+            "--report" => report_file = Some(PathBuf::from(args.next().expect("--report file"))),
+            "--json" => json_file = Some(PathBuf::from(args.next().expect("--json file"))),
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: analyze --data DIR [--report FILE] [--json FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = data else {
+        eprintln!("usage: analyze --data DIR [--report FILE] [--json FILE]");
+        std::process::exit(2);
+    };
+
+    eprintln!("loading dataset from {}...", dir.display());
+    let dataset = AtlasDataset::load_dir(&dir).unwrap_or_else(|e| {
+        eprintln!("failed to load dataset: {e}");
+        std::process::exit(1);
+    });
+    let snaps = MonthlySnapshots::load_dir(&dir.join("ip2as")).unwrap_or_else(|e| {
+        eprintln!("failed to load ip2as snapshots: {e}");
+        std::process::exit(1);
+    });
+    let mut cfg = AnalysisConfig::default();
+    if let Ok(names) = std::fs::read_to_string(dir.join("names.json")) {
+        if let Ok(parsed) = serde_json::from_str::<BTreeMap<u32, String>>(&names) {
+            cfg.as_names = parsed;
+        }
+    }
+
+    eprintln!(
+        "analyzing {} probes / {} connection entries...",
+        dataset.meta.len(),
+        dataset.connections.len()
+    );
+    let report = analyze(&dataset, &snaps, &cfg);
+    let text = render_full(&report, &cfg.as_names);
+    println!("{text}");
+    if let Some(path) = report_file {
+        std::fs::write(&path, &text).expect("write report");
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = json_file {
+        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializes"))
+            .expect("write json");
+        eprintln!("wrote {}", path.display());
+    }
+}

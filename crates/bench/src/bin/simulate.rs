@@ -1,0 +1,75 @@
+//! `simulate` — generate a RIPE-Atlas-style dataset on disk.
+//!
+//! Usage:
+//!   simulate --out DIR [--scale S] [--seed N]
+//!
+//! Writes into DIR:
+//!   meta.jsonl, connections.jsonl, kroot.jsonl, uptime.jsonl  (the dataset)
+//!   ip2as/2015-MM.pfx2as                                      (12 snapshots)
+//!   truth.json                                                (ground truth)
+//!   names.json                                                (ASN → name)
+//!
+//! The dataset directory is exactly what the `analyze` binary consumes —
+//! the pipeline runs from the files alone, as it would on real scraped
+//! logs.
+
+use dynaddr_atlas::world::{paper_route_tables, paper_world};
+use dynaddr_atlas::simulate;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = 0.1f64;
+    let mut seed = 2015u64;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next().expect("--scale value").parse().expect("numeric"),
+            "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: simulate --out DIR [--scale S] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(out_dir) = out else {
+        eprintln!("usage: simulate --out DIR [--scale S] [--seed N]");
+        std::process::exit(2);
+    };
+
+    eprintln!("simulating paper world at scale {scale} (seed {seed})...");
+    let world = paper_world(scale, seed);
+    let output = simulate(&world);
+    let snaps = paper_route_tables(&world);
+
+    output.dataset.save_dir(&out_dir).expect("write dataset");
+    snaps.save_dir(&out_dir.join("ip2as")).expect("write snapshots");
+    std::fs::write(
+        out_dir.join("truth.json"),
+        serde_json::to_string_pretty(&output.truth).expect("truth serializes"),
+    )
+    .expect("write truth");
+    let names: BTreeMap<u32, String> = output
+        .truth
+        .isp_policies
+        .iter()
+        .map(|(asn, p)| (*asn, p.name.clone()))
+        .collect();
+    std::fs::write(
+        out_dir.join("names.json"),
+        serde_json::to_string_pretty(&names).expect("names serialize"),
+    )
+    .expect("write names");
+
+    eprintln!(
+        "wrote {}: {} probes, {} connection entries, {} kroot records, {} uptime records",
+        out_dir.display(),
+        output.dataset.meta.len(),
+        output.dataset.connections.len(),
+        output.dataset.kroot.len(),
+        output.dataset.uptime.len()
+    );
+}

@@ -1,0 +1,54 @@
+//! # dynaddr-bench
+//!
+//! Benchmark harness and the `repro` binary that regenerates every table
+//! and figure of the paper. See `src/bin/repro.rs` and `benches/`.
+
+#![forbid(unsafe_code)]
+
+use dynaddr_atlas::world::{paper_route_tables, paper_world};
+use dynaddr_atlas::{simulate, SimOutput};
+use dynaddr_core::pipeline::{analyze, AnalysisConfig, AnalysisReport};
+use dynaddr_ip2as::MonthlySnapshots;
+use std::collections::BTreeMap;
+
+/// Everything needed to reproduce the paper at one scale.
+pub struct Repro {
+    /// Simulator output (datasets + ground truth).
+    pub out: SimOutput,
+    /// Monthly IP-to-AS snapshots.
+    pub snaps: MonthlySnapshots,
+    /// Analysis configuration with ISP names filled in.
+    pub cfg: AnalysisConfig,
+    /// The analysis report.
+    pub report: AnalysisReport,
+}
+
+/// Simulates the paper world at `scale` and runs the full pipeline.
+pub fn run_repro(scale: f64, seed: u64) -> Repro {
+    let world = paper_world(scale, seed);
+    let out = simulate(&world);
+    let snaps = paper_route_tables(&world);
+    let cfg = analysis_config_for(scale, &out);
+    let report = analyze(&out.dataset, &snaps, &cfg);
+    Repro { out, snaps, cfg, report }
+}
+
+/// The analysis configuration matched to a world scale: ISP display names
+/// from ground truth, Fig. 3 time threshold scaled from the paper's 3 years.
+pub fn analysis_config_for(scale: f64, out: &SimOutput) -> AnalysisConfig {
+    AnalysisConfig {
+        fig3_min_years: 3.0 * scale.min(1.0),
+        as_names: isp_names(out),
+        ..AnalysisConfig::default()
+    }
+}
+
+/// ISP display names from ground truth (cosmetic only — the pipeline itself
+/// never reads ground truth).
+pub fn isp_names(out: &SimOutput) -> BTreeMap<u32, String> {
+    out.truth
+        .isp_policies
+        .iter()
+        .map(|(asn, p)| (*asn, p.name.clone()))
+        .collect()
+}

@@ -1,0 +1,510 @@
+//! Probe filtering — the Table 2 funnel (§3.2–§3.3).
+//!
+//! The raw probe population cannot all witness true dynamic-address changes.
+//! This module classifies every probe, in the paper's order:
+//!
+//! 1. **IPv6-only** — no IPv4 connections at all;
+//! 2. **dual-stack** — connections from both families: when consecutive
+//!    connections alternate between v4 and v6 we cannot bound how long any
+//!    particular IPv4 address was held;
+//! 3. **tagged** — user-tagged `multihomed` / `datacentre` / `core`;
+//! 4. **behaviourally multihomed** — untagged probes whose connections
+//!    *return* to previously used addresses (the alternating-address
+//!    signature learned from the tagged population);
+//! 5. **testing-only** — probes whose only change is away from the RIPE NCC
+//!    testing address 193.0.0.78;
+//! 6. **never-changed** — IPv4-only probes with no observed change;
+//! 7. everything else is **analyzable**; probes whose changes cross
+//!    autonomous systems are additionally marked **multi-AS** (kept for the
+//!    geographic analysis with cross-AS changes discarded; dropped entirely
+//!    from the AS-level analysis).
+
+use crate::changes::{extract_events, strip_testing_entries, ProbeEvents};
+use dynaddr_atlas::logs::{AtlasDataset, ConnectionLogEntry, ProbeMeta};
+use dynaddr_ip2as::MonthlySnapshots;
+use dynaddr_types::{Asn, ProbeId};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Minimum number of returns to one *specific* previously-held address that
+/// marks a probe as behaviourally multihomed. A multihomed probe keeps
+/// falling back to its fixed second address; organic reassignment may
+/// occasionally re-draw an old address from the pool (a birthday collision
+/// over a year of daily changes), but not the same one three times.
+pub const ALTERNATION_RETURNS: usize = 3;
+
+/// The classification of one probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ProbeClass {
+    /// No IPv4 connections.
+    Ipv6Only,
+    /// Mixed IPv4/IPv6 connections.
+    DualStack,
+    /// Carries a disqualifying tag.
+    Tagged,
+    /// Alternates between previously used addresses.
+    Multihomed,
+    /// Only change was away from 193.0.0.78.
+    TestingOnly,
+    /// IPv4-only, no observed change.
+    NeverChanged,
+    /// Usable for the analysis.
+    Analyzable,
+}
+
+/// One analyzable probe's cleaned data.
+#[derive(Debug, Clone)]
+pub struct AnalyzableProbe {
+    /// Metadata (version, country, tags).
+    pub meta: ProbeMeta,
+    /// IPv4 connection-log entries, testing entries stripped, time-sorted.
+    pub entries: Vec<ConnectionLogEntry>,
+    /// Extracted changes/spans/gaps.
+    pub events: ProbeEvents,
+    /// ASN of each change `(from_asn, to_asn)`, parallel to `events.changes`.
+    pub change_asns: Vec<(Asn, Asn)>,
+    /// Whether any change crossed autonomous systems.
+    pub multi_as: bool,
+    /// The probe's modal ASN (by connection time).
+    pub primary_asn: Asn,
+}
+
+/// The Table 2 funnel counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct FilterCounts {
+    /// All probes in the dataset.
+    pub total: usize,
+    /// IPv4-only probes with no change.
+    pub never_changed: usize,
+    /// Probes using both address families.
+    pub dual_stack: usize,
+    /// IPv6-only probes.
+    pub ipv6_only: usize,
+    /// Tag-disqualified probes.
+    pub tagged: usize,
+    /// Behaviourally multihomed probes.
+    pub multihomed: usize,
+    /// Probes whose only change is from the testing address.
+    pub testing_only: usize,
+    /// Probes usable for geographic analysis.
+    pub analyzable_geo: usize,
+    /// Of those, probes with changes spanning multiple ASes.
+    pub multi_as: usize,
+    /// Probes usable for AS-level analysis.
+    pub analyzable_as: usize,
+}
+
+/// Output of the filtering stage.
+pub struct FilterReport {
+    /// Funnel counts (Table 2).
+    pub counts: FilterCounts,
+    /// Per-probe classification.
+    pub classes: BTreeMap<u32, ProbeClass>,
+    /// Cleaned analyzable probes (geographic set; check `multi_as` for the
+    /// AS-level subset).
+    pub probes: Vec<AnalyzableProbe>,
+}
+
+/// The maximum number of returns to any single previously-used address —
+/// the "alternating with one fixed address" signature of §3.2.
+fn max_returns_to_one_address(entries: &[ConnectionLogEntry]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut returns: std::collections::HashMap<std::net::Ipv4Addr, usize> =
+        std::collections::HashMap::new();
+    let mut prev = None;
+    for e in entries {
+        let addr = e.peer.v4().expect("v4 entries only");
+        if prev.is_some() && prev != Some(addr) && seen.contains(&addr) {
+            *returns.entry(addr).or_insert(0) += 1;
+        }
+        seen.insert(addr);
+        prev = Some(addr);
+    }
+    returns.values().copied().max().unwrap_or(0)
+}
+
+/// Runs the Table 2 funnel over a dataset.
+pub fn filter_probes(dataset: &AtlasDataset, snapshots: &MonthlySnapshots) -> FilterReport {
+    let mut counts = FilterCounts { total: dataset.meta.len(), ..FilterCounts::default() };
+    let mut classes = BTreeMap::new();
+    let mut probes = Vec::new();
+
+    for meta in &dataset.meta {
+        let all_entries = dataset.connections_of(meta.probe);
+        let class = classify(meta, all_entries, snapshots, &mut probes);
+        match class {
+            ProbeClass::Ipv6Only => counts.ipv6_only += 1,
+            ProbeClass::DualStack => counts.dual_stack += 1,
+            ProbeClass::Tagged => counts.tagged += 1,
+            ProbeClass::Multihomed => counts.multihomed += 1,
+            ProbeClass::TestingOnly => counts.testing_only += 1,
+            ProbeClass::NeverChanged => counts.never_changed += 1,
+            ProbeClass::Analyzable => counts.analyzable_geo += 1,
+        }
+        classes.insert(meta.probe.0, class);
+    }
+    counts.multi_as = probes.iter().filter(|p| p.multi_as).count();
+    counts.analyzable_as = counts.analyzable_geo - counts.multi_as;
+    FilterReport { counts, classes, probes }
+}
+
+fn classify(
+    meta: &ProbeMeta,
+    all_entries: &[ConnectionLogEntry],
+    snapshots: &MonthlySnapshots,
+    probes: &mut Vec<AnalyzableProbe>,
+) -> ProbeClass {
+    let v4_count = all_entries.iter().filter(|e| e.peer.is_v4()).count();
+    let v6_count = all_entries.len() - v4_count;
+    if v4_count == 0 {
+        return ProbeClass::Ipv6Only;
+    }
+    if v6_count > 0 {
+        return ProbeClass::DualStack;
+    }
+    if meta.tags.iter().any(|t| t.disqualifies()) {
+        return ProbeClass::Tagged;
+    }
+
+    let mut entries: Vec<ConnectionLogEntry> = all_entries.to_vec();
+    let had_testing = strip_testing_entries(&mut entries);
+    if entries.is_empty() {
+        // Only testing-bench connections: nothing analyzable.
+        return ProbeClass::TestingOnly;
+    }
+
+    if max_returns_to_one_address(&entries) >= ALTERNATION_RETURNS {
+        return ProbeClass::Multihomed;
+    }
+
+    let mut events = extract_events(&entries);
+    events.had_testing_entry = had_testing;
+    if events.changes.is_empty() {
+        return if had_testing { ProbeClass::TestingOnly } else { ProbeClass::NeverChanged };
+    }
+
+    // Map changes to origin ASes using the month each address was observed.
+    let change_asns: Vec<(Asn, Asn)> = events
+        .changes
+        .iter()
+        .map(|c| {
+            let from = snapshots.asn_at(c.gap_start, c.from);
+            let to = snapshots.asn_at(c.gap_end, c.to);
+            (from, to)
+        })
+        .collect();
+    let multi_as = change_asns.iter().any(|(f, t)| f != t);
+
+    // Primary ASN: the origin of the address the probe spent most time on.
+    let mut time_by_asn: BTreeMap<u32, i64> = BTreeMap::new();
+    for e in &entries {
+        let asn = snapshots.asn_at(e.start, e.peer.v4().expect("v4 entries"));
+        *time_by_asn.entry(asn.0).or_insert(0) += (e.end - e.start).secs();
+    }
+    let primary_asn = Asn(time_by_asn
+        .iter()
+        .max_by_key(|(_, secs)| **secs)
+        .map(|(asn, _)| *asn)
+        .unwrap_or(0));
+
+    probes.push(AnalyzableProbe {
+        meta: meta.clone(),
+        entries,
+        events,
+        change_asns,
+        multi_as,
+        primary_asn,
+    });
+    ProbeClass::Analyzable
+}
+
+impl AnalyzableProbe {
+    /// The probe id.
+    pub fn probe(&self) -> ProbeId {
+        self.meta.probe
+    }
+
+    /// Changes usable at AS granularity: both sides in the same AS.
+    /// For multi-AS probes this drops the cross-AS changes but keeps the
+    /// rest (the geographic-analysis rule of §3.3).
+    pub fn same_as_changes(&self) -> Vec<usize> {
+        self.change_asns
+            .iter()
+            .enumerate()
+            .filter(|(_, (f, t))| f == t)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Complete-span durations whose bounding changes are both within one
+    /// AS. A span bounded by a cross-AS change is not a dynamic-pool
+    /// duration and is discarded (§3.3).
+    pub fn same_as_durations(&self) -> Vec<dynaddr_types::SimDuration> {
+        let cross: Vec<bool> = self.change_asns.iter().map(|(f, t)| f != t).collect();
+        let mut out = Vec::new();
+        // Span k (complete) is bounded by change k-1 on the left and change
+        // k on the right, where spans[0] is bounded on the left by nothing.
+        let mut change_idx = 0usize;
+        for (k, span) in self.events.spans.iter().enumerate() {
+            if k > 0 {
+                // A new span begins after each change.
+                change_idx = k - 1;
+            }
+            if !span.complete {
+                continue;
+            }
+            let left = change_idx;
+            let right = change_idx + 1;
+            let left_cross = cross.get(left).copied().unwrap_or(false);
+            let right_cross = cross.get(right).copied().unwrap_or(false);
+            if !left_cross && !right_cross {
+                out.push(span.duration());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynaddr_atlas::logs::{PeerAddr, ProbeMeta};
+    use dynaddr_ip2as::RouteTable;
+    use dynaddr_types::{Country, ProbeTag, ProbeVersion, SimTime};
+
+    const H: i64 = 3_600;
+
+    fn snaps() -> MonthlySnapshots {
+        let mut t = RouteTable::new();
+        t.announce("10.0.0.0/16".parse().unwrap(), Asn(100));
+        t.announce("20.0.0.0/16".parse().unwrap(), Asn(200));
+        MonthlySnapshots::uniform(t)
+    }
+
+    fn meta(id: u32) -> ProbeMeta {
+        ProbeMeta {
+            probe: ProbeId(id),
+            version: ProbeVersion::V3,
+            country: Country::new("DE").unwrap(),
+            tags: vec![],
+        }
+    }
+
+    fn v4(id: u32, start: i64, end: i64, addr: &str) -> ConnectionLogEntry {
+        ConnectionLogEntry {
+            probe: ProbeId(id),
+            start: SimTime(start),
+            end: SimTime(end),
+            peer: PeerAddr::V4(addr.parse().unwrap()),
+        }
+    }
+
+    fn v6(id: u32, start: i64, end: i64) -> ConnectionLogEntry {
+        ConnectionLogEntry {
+            probe: ProbeId(id),
+            start: SimTime(start),
+            end: SimTime(end),
+            peer: PeerAddr::V6("2001:db8::1".parse().unwrap()),
+        }
+    }
+
+    fn run(metas: Vec<ProbeMeta>, conns: Vec<ConnectionLogEntry>) -> FilterReport {
+        let mut ds = AtlasDataset { meta: metas, connections: conns, ..AtlasDataset::default() };
+        ds.normalize();
+        filter_probes(&ds, &snaps())
+    }
+
+    #[test]
+    fn ipv6_only_filtered() {
+        let r = run(vec![meta(1)], vec![v6(1, 0, H), v6(1, 2 * H, 3 * H)]);
+        assert_eq!(r.counts.ipv6_only, 1);
+        assert_eq!(r.counts.analyzable_geo, 0);
+        assert_eq!(r.classes[&1], ProbeClass::Ipv6Only);
+    }
+
+    #[test]
+    fn dual_stack_filtered_even_with_v4_changes() {
+        let r = run(
+            vec![meta(1)],
+            vec![
+                v4(1, 0, H, "10.0.0.1"),
+                v6(1, H + 60, 2 * H),
+                v4(1, 2 * H + 60, 3 * H, "10.0.0.2"),
+            ],
+        );
+        assert_eq!(r.counts.dual_stack, 1);
+        assert_eq!(r.counts.analyzable_geo, 0);
+    }
+
+    #[test]
+    fn tagged_filtered() {
+        let mut m = meta(1);
+        m.tags = vec![ProbeTag::Datacentre];
+        let r = run(vec![m], vec![v4(1, 0, H, "10.0.0.1"), v4(1, 2 * H, 3 * H, "10.0.0.2")]);
+        assert_eq!(r.counts.tagged, 1);
+    }
+
+    #[test]
+    fn alternating_detected_as_multihomed() {
+        // A,B,A,C,A,D,A — returns to A three times.
+        let seq = [
+            "10.0.0.1", "10.0.0.2", "10.0.0.1", "10.0.0.3", "10.0.0.1", "10.0.0.4",
+            "10.0.0.1",
+        ];
+        let conns: Vec<_> = seq
+            .iter()
+            .enumerate()
+            .map(|(i, a)| v4(1, i as i64 * 2 * H, i as i64 * 2 * H + H, a))
+            .collect();
+        let r = run(vec![meta(1)], conns);
+        assert_eq!(r.counts.multihomed, 1);
+    }
+
+    #[test]
+    fn birthday_collisions_are_not_multihomed() {
+        // A year of daily changes may re-draw old addresses a few times —
+        // but different ones each time. Not multihoming.
+        let seq = [
+            "10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.1", "10.0.0.4", "10.0.0.2",
+            "10.0.0.5", "10.0.0.3", "10.0.0.6",
+        ];
+        let conns: Vec<_> = seq
+            .iter()
+            .enumerate()
+            .map(|(i, a)| v4(1, i as i64 * 2 * H, i as i64 * 2 * H + H, a))
+            .collect();
+        let r = run(vec![meta(1)], conns);
+        assert_eq!(r.counts.multihomed, 0);
+        assert_eq!(r.counts.analyzable_geo, 1);
+    }
+
+    #[test]
+    fn organic_changes_are_not_multihomed() {
+        let seq = ["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4"];
+        let conns: Vec<_> = seq
+            .iter()
+            .enumerate()
+            .map(|(i, a)| v4(1, i as i64 * 2 * H, i as i64 * 2 * H + H, a))
+            .collect();
+        let r = run(vec![meta(1)], conns);
+        assert_eq!(r.counts.analyzable_geo, 1);
+        assert_eq!(r.counts.multihomed, 0);
+    }
+
+    #[test]
+    fn never_changed() {
+        let r = run(
+            vec![meta(1)],
+            vec![v4(1, 0, H, "10.0.0.1"), v4(1, 2 * H, 3 * H, "10.0.0.1")],
+        );
+        assert_eq!(r.counts.never_changed, 1);
+    }
+
+    #[test]
+    fn testing_only() {
+        let r = run(
+            vec![meta(1)],
+            vec![
+                v4(1, 0, H, "193.0.0.78"),
+                v4(1, 2 * H, 3 * H, "10.0.0.1"),
+                v4(1, 4 * H, 5 * H, "10.0.0.1"),
+            ],
+        );
+        assert_eq!(r.counts.testing_only, 1);
+        assert_eq!(r.counts.never_changed, 0, "testing probes are their own bucket");
+    }
+
+    #[test]
+    fn testing_entry_stripped_but_probe_analyzable_with_real_changes() {
+        let r = run(
+            vec![meta(1)],
+            vec![
+                v4(1, 0, H, "193.0.0.78"),
+                v4(1, 2 * H, 3 * H, "10.0.0.1"),
+                v4(1, 4 * H, 5 * H, "10.0.0.2"),
+            ],
+        );
+        assert_eq!(r.counts.analyzable_geo, 1);
+        // The testing→real transition is not a change.
+        assert_eq!(r.probes[0].events.changes.len(), 1);
+        assert!(r.probes[0].events.had_testing_entry);
+    }
+
+    #[test]
+    fn multi_as_probes_flagged_and_counted() {
+        let r = run(
+            vec![meta(1)],
+            vec![
+                v4(1, 0, H, "10.0.0.1"),
+                v4(1, 2 * H, 3 * H, "20.0.0.1"), // cross-AS
+                v4(1, 4 * H, 5 * H, "20.0.0.2"),
+            ],
+        );
+        assert_eq!(r.counts.analyzable_geo, 1);
+        assert_eq!(r.counts.multi_as, 1);
+        assert_eq!(r.counts.analyzable_as, 0);
+        let p = &r.probes[0];
+        assert!(p.multi_as);
+        assert_eq!(p.same_as_changes(), vec![1], "only the within-AS change survives");
+    }
+
+    #[test]
+    fn same_as_durations_drop_spans_bounded_by_cross_as_changes() {
+        let r = run(
+            vec![meta(1)],
+            vec![
+                v4(1, 0, H, "10.0.0.1"),
+                v4(1, 2 * H, 10 * H, "10.0.0.2"),  // span bounded by within-AS + cross-AS
+                v4(1, 11 * H, 20 * H, "20.0.0.1"), // cross-AS span, bounded cross/within
+                v4(1, 21 * H, 30 * H, "20.0.0.2"),
+            ],
+        );
+        let p = &r.probes[0];
+        // Changes: 10.1→10.2 (same), 10.2→20.1 (cross), 20.1→20.2 (same).
+        assert_eq!(p.events.changes.len(), 3);
+        // Complete spans: 10.0.0.2 and 20.0.0.1, both touching the cross-AS
+        // change — neither is a valid within-AS duration.
+        assert!(p.same_as_durations().is_empty());
+    }
+
+    #[test]
+    fn primary_asn_is_time_weighted() {
+        let r = run(
+            vec![meta(1)],
+            vec![
+                v4(1, 0, H, "10.0.0.1"),
+                v4(1, 2 * H, 50 * H, "20.0.0.1"),
+                v4(1, 51 * H, 52 * H, "10.0.0.2"),
+            ],
+        );
+        assert_eq!(r.probes[0].primary_asn, Asn(200));
+    }
+
+    #[test]
+    fn funnel_counts_are_exhaustive() {
+        let mut m_tag = meta(4);
+        m_tag.tags = vec![ProbeTag::Core];
+        let r = run(
+            vec![meta(1), meta(2), meta(3), m_tag],
+            vec![
+                // 1: analyzable
+                v4(1, 0, H, "10.0.0.1"),
+                v4(1, 2 * H, 3 * H, "10.0.0.2"),
+                // 2: never changed
+                v4(2, 0, H, "10.0.0.9"),
+                // 3: v6 only
+                v6(3, 0, H),
+                // 4: tagged
+                v4(4, 0, H, "10.0.0.5"),
+            ],
+        );
+        let c = &r.counts;
+        assert_eq!(c.total, 4);
+        assert_eq!(
+            c.never_changed + c.dual_stack + c.ipv6_only + c.tagged + c.multihomed
+                + c.testing_only + c.analyzable_geo,
+            c.total
+        );
+        assert_eq!(c.analyzable_as + c.multi_as, c.analyzable_geo);
+    }
+}

@@ -1,0 +1,310 @@
+//! Outage detection from the k-root ping and SOS-uptime datasets (§3.4–3.6).
+//!
+//! * **Network outages**: a maximal run of k-root records in which all pings
+//!   were lost, with the LTS ("last time synchronised") value growing —
+//!   two mostly-independent signals that the probe's network was down while
+//!   the probe itself stayed up. The outage interval `[first, last]` of lost
+//!   records underestimates the true outage by up to eight minutes, as the
+//!   paper notes.
+//! * **Reboots**: the SOS uptime counter resetting between consecutive
+//!   records; the boot instant is `timestamp − uptime`.
+//! * **Power outages**: a reboot coincident with *missing* k-root rounds —
+//!   the probe was dark, so it wasn't a network outage. The outage duration
+//!   is estimated as the gap between the k-root records bracketing the boot.
+
+use dynaddr_atlas::logs::{KrootPingRecord, SosUptimeRecord};
+use dynaddr_types::{ProbeId, SimDuration, SimTime};
+
+/// Nominal spacing of k-root measurement rounds (four minutes).
+pub const KROOT_GRID_SECS: i64 = 240;
+
+/// A detected network outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkOutage {
+    /// The probe.
+    pub probe: ProbeId,
+    /// Timestamp of the first all-lost record.
+    pub start: SimTime,
+    /// Timestamp of the last all-lost record.
+    pub end: SimTime,
+}
+
+impl NetworkOutage {
+    /// The measured duration (underestimates by up to ~8 minutes).
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A detected reboot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reboot {
+    /// The probe.
+    pub probe: ProbeId,
+    /// The boot instant implied by the uptime counter.
+    pub boot_time: SimTime,
+    /// When the post-reboot record was reported.
+    pub report_time: SimTime,
+}
+
+/// A detected power outage (reboot + missing pings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerOutage {
+    /// The probe.
+    pub probe: ProbeId,
+    /// The boot instant ending the outage.
+    pub boot_time: SimTime,
+    /// Last k-root record before the dark period.
+    pub dark_start: SimTime,
+    /// First k-root record after the dark period.
+    pub dark_end: SimTime,
+}
+
+impl PowerOutage {
+    /// The estimated duration: the bracketing-ping gap (overestimates by up
+    /// to ~8 minutes).
+    pub fn duration(&self) -> SimDuration {
+        self.dark_end - self.dark_start
+    }
+}
+
+/// Detects network outages in one probe's time-sorted k-root records.
+///
+/// A run qualifies when every record lost all pings and the LTS values are
+/// strictly increasing across the run (a single lost round qualifies when
+/// its LTS already exceeds the measurement cadence — the clock had not
+/// synced for longer than one round).
+pub fn detect_network_outages(records: &[KrootPingRecord]) -> Vec<NetworkOutage> {
+    let mut out = Vec::new();
+    let mut run: Option<(usize, usize)> = None; // [start, end] indices
+    let flush = |run: Option<(usize, usize)>, out: &mut Vec<NetworkOutage>| {
+        if let Some((a, b)) = run {
+            let lts_grew = if a == b {
+                records[a].lts_secs > KROOT_GRID_SECS
+            } else {
+                records[a..=b].windows(2).all(|w| w[1].lts_secs > w[0].lts_secs)
+            };
+            if lts_grew {
+                out.push(NetworkOutage {
+                    probe: records[a].probe,
+                    start: records[a].timestamp,
+                    end: records[b].timestamp,
+                });
+            }
+        }
+    };
+    for (i, rec) in records.iter().enumerate() {
+        debug_assert!(i == 0 || records[i - 1].timestamp <= rec.timestamp, "sorted input");
+        if rec.all_lost() {
+            run = match run {
+                Some((a, _)) => Some((a, i)),
+                None => Some((i, i)),
+            };
+        } else {
+            flush(run.take(), &mut out);
+        }
+    }
+    flush(run, &mut out);
+    out
+}
+
+/// Detects reboots in one probe's time-sorted SOS-uptime records: the
+/// counter going backwards implies a reset in between.
+pub fn detect_reboots(records: &[SosUptimeRecord]) -> Vec<Reboot> {
+    let mut out = Vec::new();
+    for pair in records.windows(2) {
+        let (prev, next) = (&pair[0], &pair[1]);
+        // Counter must have reset: the implied boot is after the previous
+        // report (a merely-smaller counter from reordered records is not).
+        if next.uptime_secs as i64 - (next.timestamp - prev.timestamp).secs()
+            < prev.uptime_secs as i64
+            && next.boot_time() > prev.timestamp
+        {
+            out.push(Reboot {
+                probe: next.probe,
+                boot_time: next.boot_time(),
+                report_time: next.timestamp,
+            });
+        }
+    }
+    out
+}
+
+/// Classifies reboots into power outages using the k-root record stream.
+///
+/// A reboot is a power outage when the k-root rounds around the boot show a
+/// dark period: the gap between the bracketing records spans at least two
+/// measurement rounds (i.e., at least one round is missing), and the records
+/// inside the gap (there are none, by construction of the brackets) did not
+/// already mark it as a *network* outage.
+pub fn detect_power_outages(
+    reboots: &[Reboot],
+    kroot: &[KrootPingRecord],
+    network: &[NetworkOutage],
+) -> Vec<PowerOutage> {
+    let mut out = Vec::new();
+    for reboot in reboots {
+        // Bracketing k-root records around the boot instant.
+        let after_idx = kroot.partition_point(|r| r.timestamp < reboot.boot_time);
+        if after_idx == 0 || after_idx >= kroot.len() {
+            continue;
+        }
+        let before = &kroot[after_idx - 1];
+        let after = &kroot[after_idx];
+        let gap = (after.timestamp - before.timestamp).secs();
+        if gap < 2 * KROOT_GRID_SECS {
+            continue; // no missing rounds: not a power outage
+        }
+        // Priority ordering (§3.6): if a network outage overlaps this dark
+        // window, the gap is attributed to the network outage instead.
+        let overlaps_network = network.iter().any(|n| {
+            n.end >= before.timestamp && n.start <= after.timestamp
+        });
+        if overlaps_network {
+            continue;
+        }
+        out.push(PowerOutage {
+            probe: reboot.probe,
+            boot_time: reboot.boot_time,
+            dark_start: before.timestamp,
+            dark_end: after.timestamp,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: i64, success: u8, lts: i64) -> KrootPingRecord {
+        KrootPingRecord {
+            probe: ProbeId(16893),
+            timestamp: SimTime(ts),
+            sent: 3,
+            success,
+            lts_secs: lts,
+        }
+    }
+
+    fn sos(ts: i64, uptime: u64) -> SosUptimeRecord {
+        SosUptimeRecord { probe: ProbeId(206), timestamp: SimTime(ts), uptime_secs: uptime }
+    }
+
+    #[test]
+    fn paper_table3_example() {
+        // Table 3: outage from 09:05:48 to 09:21:40 (offsets in seconds).
+        let records = vec![
+            rec(0, 3, 86),
+            rec(246, 0, 151),
+            rec(483, 0, 388),
+            rec(714, 0, 619),
+            rec(967, 0, 872),
+            rec(1198, 0, 1103),
+            rec(1437, 3, 1342),
+            rec(1674, 3, 146),
+        ];
+        let outages = detect_network_outages(&records);
+        assert_eq!(outages.len(), 1);
+        assert_eq!(outages[0].start, SimTime(246));
+        assert_eq!(outages[0].end, SimTime(1198));
+        assert_eq!(outages[0].duration(), SimDuration::from_secs(952));
+    }
+
+    #[test]
+    fn loss_without_growing_lts_is_not_an_outage() {
+        // Lost pings but the probe kept syncing its clock: k-root itself had
+        // trouble, not the probe's network.
+        let records = vec![rec(0, 3, 100), rec(240, 0, 90), rec(480, 0, 85), rec(720, 3, 95)];
+        assert!(detect_network_outages(&records).is_empty());
+    }
+
+    #[test]
+    fn single_lost_round_with_high_lts_detected() {
+        let records = vec![rec(0, 3, 100), rec(240, 0, 340), rec(480, 3, 60)];
+        let outages = detect_network_outages(&records);
+        assert_eq!(outages.len(), 1);
+        assert_eq!(outages[0].start, outages[0].end);
+    }
+
+    #[test]
+    fn single_lost_round_with_low_lts_ignored() {
+        let records = vec![rec(0, 3, 100), rec(240, 0, 120), rec(480, 3, 60)];
+        assert!(detect_network_outages(&records).is_empty());
+    }
+
+    #[test]
+    fn back_to_back_outages_split_by_success() {
+        let records = vec![
+            rec(0, 3, 50),
+            rec(240, 0, 290),
+            rec(480, 0, 530),
+            rec(720, 3, 40),
+            rec(960, 0, 280),
+            rec(1200, 3, 30),
+        ];
+        let outages = detect_network_outages(&records);
+        assert_eq!(outages.len(), 2);
+    }
+
+    #[test]
+    fn reboot_detection_matches_table4() {
+        // Table 4: 315,038 s of uptime, then a 19 s record → boot 19 s
+        // before its timestamp.
+        let records = vec![sos(0, 262_531), sos(52_508, 315_038), sos(52_537, 19)];
+        let reboots = detect_reboots(&records);
+        assert_eq!(reboots.len(), 1);
+        assert_eq!(reboots[0].boot_time, SimTime(52_537 - 19));
+    }
+
+    #[test]
+    fn growing_uptime_is_not_a_reboot() {
+        let records = vec![sos(0, 100), sos(1_000, 1_100), sos(5_000, 5_100)];
+        assert!(detect_reboots(&records).is_empty());
+    }
+
+    #[test]
+    fn power_outage_requires_missing_rounds() {
+        let reboot = Reboot {
+            probe: ProbeId(1),
+            boot_time: SimTime(1_000),
+            report_time: SimTime(1_060),
+        };
+        // Dark period: records at 240 and 1_200 bracket the boot (4 rounds
+        // missing).
+        let kroot = vec![rec(0, 3, 50), rec(240, 3, 60), rec(1_200, 3, 70)];
+        let power = detect_power_outages(&[reboot], &kroot, &[]);
+        assert_eq!(power.len(), 1);
+        assert_eq!(power[0].dark_start, SimTime(240));
+        assert_eq!(power[0].dark_end, SimTime(1_200));
+        assert_eq!(power[0].duration(), SimDuration::from_secs(960));
+
+        // Same reboot with a complete ping grid: no power outage.
+        let dense: Vec<KrootPingRecord> =
+            (0..8).map(|i| rec(i * 240, 3, 50 + i)).collect();
+        assert!(detect_power_outages(&[reboot], &dense, &[]).is_empty());
+    }
+
+    #[test]
+    fn network_outage_takes_priority_over_power() {
+        let reboot = Reboot {
+            probe: ProbeId(1),
+            boot_time: SimTime(1_000),
+            report_time: SimTime(1_100),
+        };
+        let kroot = vec![rec(0, 3, 50), rec(240, 3, 60), rec(1_200, 3, 70)];
+        let network = vec![NetworkOutage {
+            probe: ProbeId(1),
+            start: SimTime(400),
+            end: SimTime(900),
+        }];
+        assert!(detect_power_outages(&[reboot], &kroot, &network).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(detect_network_outages(&[]).is_empty());
+        assert!(detect_reboots(&[]).is_empty());
+        assert!(detect_power_outages(&[], &[], &[]).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # dynaddr-ip2as
+//!
+//! IP-to-AS mapping substrate, standing in for CAIDA's Routeviews
+//! `pfx2as` dataset used by the paper (§3.3 and §6).
+//!
+//! The paper maps every observed IPv4 address to its origin AS and BGP
+//! prefix, using the *monthly* snapshot matching the month in which the
+//! address was observed. This crate provides:
+//!
+//! * [`trie::PrefixTrie`] — a binary (unibit) longest-prefix-match trie over
+//!   IPv4 prefixes with generic payloads;
+//! * [`table::RouteTable`] — a prefix → origin-ASN table with the `pfx2as`
+//!   text serialization (`<base>\t<len>\t<asn>` per line);
+//! * [`snapshots::MonthlySnapshots`] — twelve monthly tables queried by
+//!   [`dynaddr_types::SimTime`], exactly as §3.3 prescribes ("we found the
+//!   month in which a new IP address was assigned ... and used CAIDA's
+//!   IP-to-AS dataset for that month").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod snapshots;
+pub mod table;
+pub mod trie;
+
+pub use snapshots::MonthlySnapshots;
+pub use table::{Origin, RouteTable};
+pub use trie::PrefixTrie;

@@ -1,0 +1,33 @@
+//! # dynaddr-ispnet
+//!
+//! The ISP access-network substrate: everything between a customer's CPE and
+//! the address it is assigned. The paper observes address-change behaviour
+//! from the outside and infers the mechanisms; this crate *implements* those
+//! mechanisms so the analysis pipeline can be validated against ground truth:
+//!
+//! * [`pool`] — dynamic address pools spanning multiple BGP-routed prefixes,
+//!   with allocation policies that control how often consecutive assignments
+//!   cross prefixes (the behaviour measured in Table 7);
+//! * [`dhcp`] — a DHCP server model faithful to RFC 2131's address-stability
+//!   goal (§4.3.1: re-issue the same address whenever possible), with leases,
+//!   half-life renewals, expiry, and pool churn reclaiming expired bindings;
+//! * [`ppp`] — a PPP/PPPoE + RADIUS session model: a session drop for *any*
+//!   reason yields a fresh address, and ISPs may cap session length
+//!   (the periodic renumbering of §4) with optional jitter and skip
+//!   probability to reproduce the harmonics of §4.4.2;
+//! * [`server`] — the [`server::IspNetwork`] facade the simulator drives:
+//!   connect / renew / forced-renumber / outage-recovery, plus
+//!   administrative renumbering (en-masse prefix migration, §8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dhcp;
+pub mod pool;
+pub mod ppp;
+pub mod server;
+
+pub use dhcp::{DhcpConfig, DhcpServer};
+pub use pool::{AddressPool, AllocationPolicy, ClientId, PoolConfig};
+pub use ppp::{PppConfig, PppServer};
+pub use server::{AccessConfig, AccessOutcome, IspNetwork, NextIspAction};

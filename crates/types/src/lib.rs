@@ -1,0 +1,40 @@
+//! # dynaddr-types
+//!
+//! Shared vocabulary for the `dynaddr` workspace, the reproduction of
+//! *"Reasons Dynamic Addresses Change"* (Padmanabhan et al., IMC 2016).
+//!
+//! Everything in this crate is deliberately small and dependency-light so it
+//! can be used by the simulator (`dynaddr-atlas`), the substrates
+//! (`dynaddr-ispnet`, `dynaddr-ip2as`) and the analysis pipeline
+//! (`dynaddr-core`) without coupling them to each other:
+//!
+//! * [`time`] — simulated wall-clock time anchored at 2015-01-01T00:00:00Z,
+//!   with the calendar arithmetic the paper relies on (GMT hour-of-day,
+//!   day-of-year, month boundaries for the monthly IP-to-AS snapshots).
+//! * [`ip`] — IPv4 helpers and CIDR [`ip::Prefix`] with the /8 and /16
+//!   extraction used by Table 7.
+//! * [`asn`] — autonomous system numbers.
+//! * [`probe`] — RIPE-Atlas-style probe identity: ids, hardware versions,
+//!   user-provided tags.
+//! * [`geo`] — countries and continents for the geographic rollups (Fig. 1).
+//! * [`rng`] — label-derived deterministic RNG streams so that simulations
+//!   are reproducible and insensitive to iteration-order changes.
+//! * [`dist`] — sampling distributions (exponential, log-normal, Pareto,
+//!   mixtures) used to model outage arrivals and durations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod dist;
+pub mod geo;
+pub mod ip;
+pub mod probe;
+pub mod rng;
+pub mod time;
+
+pub use asn::Asn;
+pub use geo::{Continent, Country};
+pub use ip::{Prefix, PrefixParseError};
+pub use probe::{ProbeId, ProbeTag, ProbeVersion};
+pub use time::{SimDuration, SimTime};

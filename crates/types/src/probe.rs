@@ -1,0 +1,128 @@
+//! Probe identity: ids, hardware versions, and user-provided tags.
+//!
+//! RIPE Atlas hardware versions matter to the analysis: v1/v2 probes are
+//! vulnerable to memory fragmentation and may spontaneously reboot when they
+//! create new TCP connections (§5.1), so the paper excludes them from the
+//! power-outage analysis. Tags are voluntary labels used by the Table 2
+//! filtering step ("multihomed", "datacentre", "core").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a RIPE-Atlas-style probe.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ProbeId(pub u32);
+
+impl fmt::Display for ProbeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "probe#{}", self.0)
+    }
+}
+
+/// Probe hardware generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeVersion {
+    /// First generation (Lantronix XPort Pro): fragile under memory
+    /// fragmentation; may reboot on new TCP connections.
+    V1,
+    /// Second generation: same fragility caveat as v1.
+    V2,
+    /// Third generation (TP-Link powered over USB): the majority of the
+    /// deployment (>75% in 2015), reliable uptime counters.
+    V3,
+}
+
+impl ProbeVersion {
+    /// Whether power-outage inference is trustworthy on this hardware
+    /// (the paper discards v1/v2 for that analysis, §5.1).
+    pub fn reliable_uptime(self) -> bool {
+        matches!(self, ProbeVersion::V3)
+    }
+}
+
+impl fmt::Display for ProbeVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeVersion::V1 => write!(f, "v1"),
+            ProbeVersion::V2 => write!(f, "v2"),
+            ProbeVersion::V3 => write!(f, "v3"),
+        }
+    }
+}
+
+/// Voluntary, user-provided probe tags relevant to filtering (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ProbeTag {
+    /// Host declared the probe multihomed.
+    Multihomed,
+    /// Probe hosted in a datacenter.
+    Datacentre,
+    /// Probe in a network core / exchange point.
+    Core,
+    /// Host declared a DSL access line.
+    Dsl,
+    /// Host declared a cable access line.
+    Cable,
+    /// Host declared a fibre access line.
+    Fibre,
+    /// Host declared NAT in front of the probe.
+    Nat,
+    /// Home connection.
+    Home,
+}
+
+impl ProbeTag {
+    /// Tags that cause a probe to be dropped from the analysis outright
+    /// (Table 2 row "Multihomed / Core / Datacenter (tags)").
+    pub fn disqualifies(self) -> bool {
+        matches!(self, ProbeTag::Multihomed | ProbeTag::Datacentre | ProbeTag::Core)
+    }
+}
+
+impl fmt::Display for ProbeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProbeTag::Multihomed => "multihomed",
+            ProbeTag::Datacentre => "datacentre",
+            ProbeTag::Core => "core",
+            ProbeTag::Dsl => "dsl",
+            ProbeTag::Cable => "cable",
+            ProbeTag::Fibre => "fibre",
+            ProbeTag::Nat => "nat",
+            ProbeTag::Home => "home",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_v3_has_reliable_uptime() {
+        assert!(!ProbeVersion::V1.reliable_uptime());
+        assert!(!ProbeVersion::V2.reliable_uptime());
+        assert!(ProbeVersion::V3.reliable_uptime());
+    }
+
+    #[test]
+    fn disqualifying_tags() {
+        assert!(ProbeTag::Multihomed.disqualifies());
+        assert!(ProbeTag::Datacentre.disqualifies());
+        assert!(ProbeTag::Core.disqualifies());
+        assert!(!ProbeTag::Dsl.disqualifies());
+        assert!(!ProbeTag::Home.disqualifies());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProbeId(206).to_string(), "probe#206");
+        assert_eq!(ProbeVersion::V3.to_string(), "v3");
+        assert_eq!(ProbeTag::Datacentre.to_string(), "datacentre");
+    }
+}

@@ -1,0 +1,71 @@
+//! Blacklist advisor — the paper's motivating application (§1, §8).
+//!
+//! Operators blacklist IP addresses seen misbehaving. How long does such an
+//! entry stay meaningful, and would blacklisting the enclosing prefix help?
+//! The [`dynaddr::analysis::advisor`] module condenses the pipeline's
+//! findings (Tables 5–7) into per-AS advisories; this example prints them.
+//!
+//! ```sh
+//! cargo run --release --example blacklist_advisor
+//! ```
+
+use dynaddr::analysis::advisor::{advise, RebootEvasion};
+use dynaddr::analysis::filtering::filter_probes;
+use dynaddr::atlas::simulate;
+use dynaddr::atlas::world::{paper_route_tables, paper_world};
+
+fn main() {
+    let world = paper_world(0.15, 7);
+    let out = simulate(&world);
+    let snaps = paper_route_tables(&world);
+    let filtered = filter_probes(&out.dataset, &snaps);
+    let advisories = advise(&out.dataset, &filtered.probes, &snaps, 30);
+
+    let names = &out.truth.isp_policies;
+    println!(
+        "{:<24} {:>7} {:>11} {:>12} {:>10} {:>9} {:>8}",
+        "ISP", "probes", "median", "max TTL", "evade by", "BGP", "/8"
+    );
+    println!(
+        "{:<24} {:>7} {:>11} {:>12} {:>10} {:>9} {:>8}",
+        "", "", "lifetime", "", "reboot?", "escape", "escape"
+    );
+    println!("{}", "-".repeat(88));
+
+    let mut rows: Vec<&dynaddr::analysis::advisor::AsAdvisory> = advisories.values().collect();
+    rows.sort_by_key(|adv| std::cmp::Reverse(adv.durations));
+    for adv in rows.iter().take(18) {
+        let name = names
+            .get(&adv.asn)
+            .map(|p| p.name.clone())
+            .unwrap_or_else(|| format!("AS{}", adv.asn));
+        let ttl = match adv.periodic_cap_hours {
+            Some(d) => format!("{d} h (cap)"),
+            None => format!("~{:.0} h", adv.max_identifier_ttl_hours),
+        };
+        let evade = match adv.reboot_evasion {
+            RebootEvasion::AtWill => "AT WILL",
+            RebootEvasion::Sometimes => "sometimes",
+            RebootEvasion::Unlikely => "unlikely",
+            RebootEvasion::Unknown => "?",
+        };
+        println!(
+            "{:<24} {:>7} {:>10.0}h {:>12} {:>10} {:>8.0}% {:>7.0}%",
+            name,
+            adv.probes,
+            adv.median_lifetime_hours,
+            ttl,
+            evade,
+            100.0 * adv.bgp_escape,
+            100.0 * adv.slash8_escape
+        );
+    }
+
+    println!(
+        "\nReading: an entry for a DTAG-like address is stale within a day; for a\n\
+         Verizon-like address it may hold for weeks. Where evasion is AT WILL, a\n\
+         malicious user sheds the entry by power-cycling their CPE; where the /8\n\
+         escape rate is high, even blacklisting the whole /8 fails across that\n\
+         fraction of changes (the paper's §6 finding)."
+    );
+}
