@@ -15,6 +15,7 @@
 
 use dynaddr_types::{Country, ProbeId, ProbeTag, ProbeVersion, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -137,7 +138,7 @@ pub struct ProbeMeta {
 }
 
 /// The complete scraped dataset for one measurement year.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AtlasDataset {
     /// Probe metadata, one entry per active probe.
     pub meta: Vec<ProbeMeta>,
@@ -147,6 +148,61 @@ pub struct AtlasDataset {
     pub kroot: Vec<KrootPingRecord>,
     /// SOS-uptime records, sorted by (probe, timestamp).
     pub uptime: Vec<SosUptimeRecord>,
+    /// Per-probe range index over the three logs, built by
+    /// [`AtlasDataset::normalize`]. Derived data: excluded from equality and
+    /// serialization.
+    pub index: ProbeIndex,
+}
+
+/// Per-probe `(start, end)` ranges into the sorted log vectors, so the
+/// `*_of` accessors cost one hash lookup instead of two binary searches.
+///
+/// An empty index (the state before [`AtlasDataset::normalize`] runs) makes
+/// the accessors fall back to binary search over whatever order the data is
+/// in, preserving the old contract for hand-assembled datasets.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeIndex {
+    connections: HashMap<u32, (usize, usize)>,
+    kroot: HashMap<u32, (usize, usize)>,
+    uptime: HashMap<u32, (usize, usize)>,
+}
+
+// The index is a cache over the four data vectors; two datasets with equal
+// data are equal regardless of whether either has been normalized.
+impl PartialEq for AtlasDataset {
+    fn eq(&self, other: &AtlasDataset) -> bool {
+        self.meta == other.meta
+            && self.connections == other.connections
+            && self.kroot == other.kroot
+            && self.uptime == other.uptime
+    }
+}
+
+impl Serialize for AtlasDataset {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("meta".to_string(), self.meta.to_value()),
+            ("connections".to_string(), self.connections.to_value()),
+            ("kroot".to_string(), self.kroot.to_value()),
+            ("uptime".to_string(), self.uptime.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for AtlasDataset {
+    fn deserialize(v: &serde::Value) -> Result<AtlasDataset, serde::de::Error> {
+        let fields = serde::__private::expect_object(v, "AtlasDataset")?;
+        let get = |name| serde::__private::field(fields, name, "AtlasDataset");
+        Ok(AtlasDataset {
+            meta: Deserialize::deserialize(get("meta")?)?,
+            connections: Deserialize::deserialize(get("connections")?)?,
+            kroot: Deserialize::deserialize(get("kroot")?)?,
+            uptime: Deserialize::deserialize(get("uptime")?)?,
+            // Rebuilt on the next normalize; the accessors fall back to
+            // binary search until then.
+            index: ProbeIndex::default(),
+        })
+    }
 }
 
 impl Default for ProbeMeta {
@@ -161,12 +217,21 @@ impl Default for ProbeMeta {
 }
 
 impl AtlasDataset {
-    /// Sorts every log by (probe, time) — the order the pipeline expects.
+    /// Sorts every log by (probe, time) — the order the pipeline expects —
+    /// and rebuilds the per-probe range index. The four sorts touch disjoint
+    /// vectors, so each gets its own scoped thread when the executor allows.
     pub fn normalize(&mut self) {
-        self.meta.sort_by_key(|m| m.probe);
-        self.connections.sort_by_key(|c| (c.probe, c.start, c.end));
-        self.kroot.sort_by_key(|k| (k.probe, k.timestamp));
-        self.uptime.sort_by_key(|u| (u.probe, u.timestamp));
+        let AtlasDataset { meta, connections, kroot, uptime, index } = self;
+        let sorts: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(|| meta.sort_by_key(|m| m.probe)),
+            Box::new(|| connections.sort_by_key(|c| (c.probe, c.start, c.end))),
+            Box::new(|| kroot.sort_by_key(|k| (k.probe, k.timestamp))),
+            Box::new(|| uptime.sort_by_key(|u| (u.probe, u.timestamp))),
+        ];
+        dynaddr_exec::par_run(sorts);
+        index.connections = range_index(connections, |c| c.probe);
+        index.kroot = range_index(kroot, |k| k.probe);
+        index.uptime = range_index(uptime, |u| u.probe);
     }
 
     /// Number of distinct probes with metadata.
@@ -176,17 +241,17 @@ impl AtlasDataset {
 
     /// All connection-log entries of one probe (requires normalized data).
     pub fn connections_of(&self, probe: ProbeId) -> &[ConnectionLogEntry] {
-        slice_of(&self.connections, |c| c.probe, probe)
+        indexed_slice(&self.connections, &self.index.connections, |c| c.probe, probe)
     }
 
     /// All k-root records of one probe (requires normalized data).
     pub fn kroot_of(&self, probe: ProbeId) -> &[KrootPingRecord] {
-        slice_of(&self.kroot, |k| k.probe, probe)
+        indexed_slice(&self.kroot, &self.index.kroot, |k| k.probe, probe)
     }
 
     /// All SOS-uptime records of one probe (requires normalized data).
     pub fn uptime_of(&self, probe: ProbeId) -> &[SosUptimeRecord] {
-        slice_of(&self.uptime, |u| u.probe, probe)
+        indexed_slice(&self.uptime, &self.index.uptime, |u| u.probe, probe)
     }
 
     /// Metadata for one probe.
@@ -262,6 +327,7 @@ impl AtlasDataset {
             connections: from_jsonl(&docs.connections)?,
             kroot: from_jsonl(&docs.kroot)?,
             uptime: from_jsonl(&docs.uptime)?,
+            index: ProbeIndex::default(),
         };
         ds.normalize();
         Ok(ds)
@@ -296,6 +362,36 @@ fn slice_of<T, F: Fn(&T) -> ProbeId>(items: &[T], key: F, probe: ProbeId) -> &[T
     let lo = items.partition_point(|t| key(t) < probe);
     let hi = items.partition_point(|t| key(t) <= probe);
     &items[lo..hi]
+}
+
+/// One pass over a (probe, …)-sorted log, recording each probe's
+/// `(start, end)` range.
+fn range_index<T, F: Fn(&T) -> ProbeId>(items: &[T], key: F) -> HashMap<u32, (usize, usize)> {
+    let mut map = HashMap::new();
+    let mut start = 0;
+    for i in 1..=items.len() {
+        if i == items.len() || key(&items[i]) != key(&items[start]) {
+            map.insert(key(&items[start]).0, (start, i));
+            start = i;
+        }
+    }
+    map
+}
+
+/// Index lookup with a binary-search fallback for un-indexed data.
+fn indexed_slice<'a, T, F: Fn(&T) -> ProbeId>(
+    items: &'a [T],
+    ranges: &HashMap<u32, (usize, usize)>,
+    key: F,
+    probe: ProbeId,
+) -> &'a [T] {
+    if ranges.is_empty() && !items.is_empty() {
+        return slice_of(items, key, probe);
+    }
+    match ranges.get(&probe.0) {
+        Some(&(lo, hi)) => &items[lo..hi],
+        None => &[],
+    }
 }
 
 /// The four JSON-lines documents of a serialized dataset.
@@ -339,17 +435,21 @@ pub fn to_jsonl<T: Serialize>(items: &[T]) -> String {
 }
 
 /// Parses one JSON object per line; blank lines are skipped.
-pub fn from_jsonl<T: for<'de> Deserialize<'de>>(doc: &str) -> Result<Vec<T>, JsonlError> {
-    let mut out = Vec::new();
-    for (idx, line) in doc.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let item =
-            serde_json::from_str(line).map_err(|source| JsonlError { line: idx + 1, source })?;
-        out.push(item);
-    }
-    Ok(out)
+///
+/// Lines are independent, so parsing fans out across the executor's workers;
+/// results come back in document order, and on malformed input the reported
+/// error is the earliest bad line, exactly as the sequential loop gave.
+pub fn from_jsonl<T: for<'de> Deserialize<'de> + Send>(doc: &str) -> Result<Vec<T>, JsonlError> {
+    let lines: Vec<(usize, &str)> = doc
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .collect();
+    dynaddr_exec::par_map(&lines, |&(idx, line)| {
+        serde_json::from_str(line).map_err(|source| JsonlError { line: idx + 1, source })
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! `analyze` — run the paper's full pipeline over a dataset directory.
 //!
 //! Usage:
-//!   analyze --data DIR [--report FILE] [--json FILE]
+//!   analyze --data DIR [--report FILE] [--json FILE] [--threads N]
 //!
 //! DIR must contain the four `.jsonl` log files and an `ip2as/` snapshot
 //! directory (the layout the `simulate` binary writes; real scraped data in
@@ -26,15 +26,19 @@ fn main() {
             "--data" => data = Some(PathBuf::from(args.next().expect("--data dir"))),
             "--report" => report_file = Some(PathBuf::from(args.next().expect("--report file"))),
             "--json" => json_file = Some(PathBuf::from(args.next().expect("--json file"))),
+            // Overrides the DYNADDR_THREADS environment variable.
+            "--threads" => dynaddr_exec::set_threads(Some(
+                args.next().expect("--threads value").parse().expect("numeric"),
+            )),
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: analyze --data DIR [--report FILE] [--json FILE]");
+                eprintln!("usage: analyze --data DIR [--report FILE] [--json FILE] [--threads N]");
                 std::process::exit(2);
             }
         }
     }
     let Some(dir) = data else {
-        eprintln!("usage: analyze --data DIR [--report FILE] [--json FILE]");
+        eprintln!("usage: analyze --data DIR [--report FILE] [--json FILE] [--threads N]");
         std::process::exit(2);
     };
 

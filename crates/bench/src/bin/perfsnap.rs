@@ -1,0 +1,139 @@
+//! `perfsnap` — committed performance snapshot for the parallel pipeline.
+//!
+//! Usage:
+//!   perfsnap [--scale S] [--seed N] [--iters K] [--out FILE]
+//!
+//! Times the simulator and each pipeline stage at the default
+//! `paper_world(0.05, 11)` twice — once pinned to one thread, once at the
+//! machine's full parallelism — and writes the comparison to
+//! `BENCH_pipeline.json` at the repository root (best of K iterations per
+//! cell). The snapshot records whatever the build machine offers; speedups
+//! are only meaningful when `max_threads > 1`.
+
+use dynaddr_atlas::world::{paper_route_tables, paper_world};
+use dynaddr_atlas::{simulate, SimOutput};
+use dynaddr_core::filtering::filter_probes;
+use dynaddr_core::geo::continent_distributions;
+use dynaddr_core::periodic::{table5, PeriodicConfig};
+use dynaddr_core::pipeline::{analyze, outage_analysis};
+use dynaddr_core::prefixes::prefix_changes;
+use dynaddr_ip2as::MonthlySnapshots;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct StageTiming {
+    stage: &'static str,
+    ms_threads_1: f64,
+    ms_threads_max: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    scale: f64,
+    seed: u64,
+    iters: usize,
+    max_threads: usize,
+    stages: Vec<StageTiming>,
+}
+
+fn main() {
+    let mut scale = 0.05f64;
+    let mut seed = 11u64;
+    let mut iters = 3usize;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next().expect("--scale value").parse().expect("numeric"),
+            "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
+            "--iters" => iters = args.next().expect("--iters value").parse().expect("numeric"),
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out file"))),
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: perfsnap [--scale S] [--seed N] [--iters K] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json")
+    });
+
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("perfsnap: paper_world({scale}, {seed}), 1 vs {max_threads} threads, best of {iters}");
+
+    let world = paper_world(scale, seed);
+    let sim_out = simulate(&world);
+    let snaps = paper_route_tables(&world);
+
+    let one = run_all(&world, &sim_out, &snaps, 1, iters);
+    let many = run_all(&world, &sim_out, &snaps, max_threads, iters);
+    dynaddr_exec::set_threads(None);
+
+    let stages = one
+        .into_iter()
+        .zip(many)
+        .map(|((stage, ms1), (_, msn))| StageTiming {
+            stage,
+            ms_threads_1: ms1,
+            ms_threads_max: msn,
+            speedup: if msn > 0.0 { ms1 / msn } else { 0.0 },
+        })
+        .collect();
+    let snap = Snapshot { scale, seed, iters, max_threads, stages };
+    let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
+    std::fs::write(&out, format!("{json}\n")).expect("write snapshot");
+    println!("{json}");
+    eprintln!("wrote {}", out.display());
+}
+
+/// Best-of-`iters` wall time in milliseconds for every stage at `threads`.
+fn run_all(
+    world: &dynaddr_atlas::config::WorldConfig,
+    sim_out: &SimOutput,
+    snaps: &MonthlySnapshots,
+    threads: usize,
+    iters: usize,
+) -> Vec<(&'static str, f64)> {
+    dynaddr_exec::set_threads(Some(threads));
+    let dataset = &sim_out.dataset;
+    let probes = filter_probes(dataset, snaps).probes;
+    let cfg = dynaddr_core::pipeline::AnalysisConfig::default();
+    let mut results = Vec::new();
+    let mut time = |stage: &'static str, f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        results.push((stage, best));
+    };
+
+    time("simulate", &mut || {
+        std::hint::black_box(simulate(world));
+    });
+    time("filter_probes", &mut || {
+        std::hint::black_box(filter_probes(dataset, snaps));
+    });
+    time("table5", &mut || {
+        std::hint::black_box(table5(&probes, &BTreeMap::new(), &PeriodicConfig::default()));
+    });
+    time("continent_distributions", &mut || {
+        std::hint::black_box(continent_distributions(&probes));
+    });
+    time("outage_analysis", &mut || {
+        std::hint::black_box(outage_analysis(dataset, &probes));
+    });
+    time("prefix_changes", &mut || {
+        std::hint::black_box(prefix_changes(&probes, snaps));
+    });
+    time("analyze", &mut || {
+        std::hint::black_box(analyze(dataset, snaps, &cfg));
+    });
+    results
+}

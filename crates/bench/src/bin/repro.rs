@@ -1,8 +1,9 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! Usage:
-//!   repro [--scale S] [--seed N] [--out DIR] [all|table2|fig1|fig2|fig3|
-//!          table5|fig4|fig5|fig6|fig7|fig8|table6|fig9|table7|table1|truth]
+//!   repro [--scale S] [--seed N] [--out DIR] [--threads N]
+//!         [all|table2|fig1|fig2|fig3|table5|fig4|fig5|fig6|fig7|fig8|
+//!          table6|fig9|table7|table1|truth]
 //!
 //! Prints the selected experiment (default: all) to stdout; with `--out`,
 //! also writes one text file per experiment into DIR.
@@ -22,8 +23,14 @@ fn main() {
             "--scale" => scale = args.next().expect("--scale value").parse().expect("numeric scale"),
             "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric seed"),
             "--out" => out_dir = Some(args.next().expect("--out dir")),
+            // Overrides the DYNADDR_THREADS environment variable.
+            "--threads" => dynaddr_exec::set_threads(Some(
+                args.next().expect("--threads value").parse().expect("numeric"),
+            )),
             "--help" | "-h" => {
-                eprintln!("usage: repro [--scale S] [--seed N] [--out DIR] [experiments...]");
+                eprintln!(
+                    "usage: repro [--scale S] [--seed N] [--out DIR] [--threads N] [experiments...]"
+                );
                 return;
             }
             other => which.push(other.to_string()),

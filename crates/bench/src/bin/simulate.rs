@@ -1,7 +1,7 @@
 //! `simulate` — generate a RIPE-Atlas-style dataset on disk.
 //!
 //! Usage:
-//!   simulate --out DIR [--scale S] [--seed N]
+//!   simulate --out DIR [--scale S] [--seed N] [--threads N]
 //!
 //! Writes into DIR:
 //!   meta.jsonl, connections.jsonl, kroot.jsonl, uptime.jsonl  (the dataset)
@@ -28,15 +28,19 @@ fn main() {
             "--scale" => scale = args.next().expect("--scale value").parse().expect("numeric"),
             "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
+            // Overrides the DYNADDR_THREADS environment variable.
+            "--threads" => dynaddr_exec::set_threads(Some(
+                args.next().expect("--threads value").parse().expect("numeric"),
+            )),
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: simulate --out DIR [--scale S] [--seed N]");
+                eprintln!("usage: simulate --out DIR [--scale S] [--seed N] [--threads N]");
                 std::process::exit(2);
             }
         }
     }
     let Some(out_dir) = out else {
-        eprintln!("usage: simulate --out DIR [--scale S] [--seed N]");
+        eprintln!("usage: simulate --out DIR [--scale S] [--seed N] [--threads N]");
         std::process::exit(2);
     };
 

@@ -110,11 +110,12 @@ pub fn advise(
     let t7 = prefix_changes(probes, snapshots);
 
     let mut out = BTreeMap::new();
-    for (asn, mut dist) in per_as_durations {
+    for (asn, dist) in per_as_durations {
         if dist.count() < min_durations {
             continue;
         }
-        let median_lifetime_hours = dist
+        let curve = dist.finalize();
+        let median_lifetime_hours = curve
             .curve()
             .iter()
             .find(|(_, f)| *f >= 0.5)
@@ -144,7 +145,7 @@ pub fn advise(
             AsAdvisory {
                 asn,
                 probes: per_as_probes.get(&asn).copied().unwrap_or(0),
-                durations: dist.count(),
+                durations: curve.count(),
                 median_lifetime_hours,
                 periodic_cap_hours,
                 reboot_evasion,

@@ -124,14 +124,21 @@ fn max_returns_to_one_address(entries: &[ConnectionLogEntry]) -> usize {
 }
 
 /// Runs the Table 2 funnel over a dataset.
+///
+/// Each probe's classification depends only on its own logs, so the per-probe
+/// work fans out across the executor's workers; the funnel counts are then
+/// folded sequentially in probe order, keeping the report identical at any
+/// worker count.
 pub fn filter_probes(dataset: &AtlasDataset, snapshots: &MonthlySnapshots) -> FilterReport {
+    let classified: Vec<(ProbeClass, Option<AnalyzableProbe>)> =
+        dynaddr_exec::par_map(&dataset.meta, |meta| {
+            classify(meta, dataset.connections_of(meta.probe), snapshots)
+        });
+
     let mut counts = FilterCounts { total: dataset.meta.len(), ..FilterCounts::default() };
     let mut classes = BTreeMap::new();
     let mut probes = Vec::new();
-
-    for meta in &dataset.meta {
-        let all_entries = dataset.connections_of(meta.probe);
-        let class = classify(meta, all_entries, snapshots, &mut probes);
+    for (meta, (class, probe)) in dataset.meta.iter().zip(classified) {
         match class {
             ProbeClass::Ipv6Only => counts.ipv6_only += 1,
             ProbeClass::DualStack => counts.dual_stack += 1,
@@ -142,45 +149,48 @@ pub fn filter_probes(dataset: &AtlasDataset, snapshots: &MonthlySnapshots) -> Fi
             ProbeClass::Analyzable => counts.analyzable_geo += 1,
         }
         classes.insert(meta.probe.0, class);
+        probes.extend(probe);
     }
     counts.multi_as = probes.iter().filter(|p| p.multi_as).count();
     counts.analyzable_as = counts.analyzable_geo - counts.multi_as;
     FilterReport { counts, classes, probes }
 }
 
+/// Classifies one probe; analyzable probes also yield their cleaned data.
 fn classify(
     meta: &ProbeMeta,
     all_entries: &[ConnectionLogEntry],
     snapshots: &MonthlySnapshots,
-    probes: &mut Vec<AnalyzableProbe>,
-) -> ProbeClass {
+) -> (ProbeClass, Option<AnalyzableProbe>) {
     let v4_count = all_entries.iter().filter(|e| e.peer.is_v4()).count();
     let v6_count = all_entries.len() - v4_count;
     if v4_count == 0 {
-        return ProbeClass::Ipv6Only;
+        return (ProbeClass::Ipv6Only, None);
     }
     if v6_count > 0 {
-        return ProbeClass::DualStack;
+        return (ProbeClass::DualStack, None);
     }
     if meta.tags.iter().any(|t| t.disqualifies()) {
-        return ProbeClass::Tagged;
+        return (ProbeClass::Tagged, None);
     }
 
     let mut entries: Vec<ConnectionLogEntry> = all_entries.to_vec();
     let had_testing = strip_testing_entries(&mut entries);
     if entries.is_empty() {
         // Only testing-bench connections: nothing analyzable.
-        return ProbeClass::TestingOnly;
+        return (ProbeClass::TestingOnly, None);
     }
 
     if max_returns_to_one_address(&entries) >= ALTERNATION_RETURNS {
-        return ProbeClass::Multihomed;
+        return (ProbeClass::Multihomed, None);
     }
 
     let mut events = extract_events(&entries);
     events.had_testing_entry = had_testing;
     if events.changes.is_empty() {
-        return if had_testing { ProbeClass::TestingOnly } else { ProbeClass::NeverChanged };
+        let class =
+            if had_testing { ProbeClass::TestingOnly } else { ProbeClass::NeverChanged };
+        return (class, None);
     }
 
     // Map changes to origin ASes using the month each address was observed.
@@ -207,15 +217,15 @@ fn classify(
         .map(|(asn, _)| *asn)
         .unwrap_or(0));
 
-    probes.push(AnalyzableProbe {
+    let probe = AnalyzableProbe {
         meta: meta.clone(),
         entries,
         events,
         change_asns,
         multi_as,
         primary_asn,
-    });
-    ProbeClass::Analyzable
+    };
+    (ProbeClass::Analyzable, Some(probe))
 }
 
 impl AnalyzableProbe {

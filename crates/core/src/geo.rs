@@ -1,17 +1,15 @@
 //! Geographic rollups of address durations (§4.2, Figs. 1 and 3).
 
 use crate::filtering::AnalyzableProbe;
-use crate::ttf::TtfDistribution;
+use crate::ttf::{TtfCurve, TtfDistribution};
 use dynaddr_types::{Asn, Continent};
 use std::collections::BTreeMap;
 
-/// Total-time-fraction distribution per continent — Fig. 1.
+/// Total-time-fraction curve per continent — Fig. 1.
 ///
 /// Multi-AS probes contribute their within-AS durations (the geographic
 /// analysis keeps them, §3.3).
-pub fn continent_distributions(
-    probes: &[AnalyzableProbe],
-) -> Vec<(Continent, TtfDistribution)> {
+pub fn continent_distributions(probes: &[AnalyzableProbe]) -> Vec<(Continent, TtfCurve)> {
     let mut map: BTreeMap<Continent, TtfDistribution> = BTreeMap::new();
     for p in probes {
         let Some(continent) = p.meta.country.continent() else { continue };
@@ -19,7 +17,8 @@ pub fn continent_distributions(
             .or_default()
             .extend(p.same_as_durations());
     }
-    let mut out: Vec<(Continent, TtfDistribution)> = map.into_iter().collect();
+    let mut out: Vec<(Continent, TtfCurve)> =
+        map.into_iter().map(|(c, d)| (c, d.finalize())).collect();
     // Paper legend order: by total time, descending.
     out.sort_by(|a, b| {
         b.1.total_years()
@@ -29,7 +28,7 @@ pub fn continent_distributions(
     out
 }
 
-/// Total-time-fraction distribution per AS within one country — Fig. 3
+/// Total-time-fraction curve per AS within one country — Fig. 3
 /// (Germany). Only ASes contributing at least `min_years` of total address
 /// time are reported, mirroring the paper's 3-year cutoff (scale it down
 /// for smaller worlds).
@@ -37,7 +36,7 @@ pub fn country_as_distributions(
     probes: &[AnalyzableProbe],
     country_code: &str,
     min_years: f64,
-) -> Vec<(Asn, TtfDistribution)> {
+) -> Vec<(Asn, TtfCurve)> {
     let mut map: BTreeMap<u32, TtfDistribution> = BTreeMap::new();
     for p in probes {
         if p.multi_as || p.meta.country.code() != country_code {
@@ -47,10 +46,10 @@ pub fn country_as_distributions(
             .or_default()
             .extend(p.same_as_durations());
     }
-    let mut out: Vec<(Asn, TtfDistribution)> = map
+    let mut out: Vec<(Asn, TtfCurve)> = map
         .into_iter()
         .filter(|(_, d)| d.total_years() >= min_years)
-        .map(|(asn, d)| (Asn(asn), d))
+        .map(|(asn, d)| (Asn(asn), d.finalize()))
         .collect();
     out.sort_by(|a, b| {
         b.1.total_years()
@@ -60,12 +59,12 @@ pub fn country_as_distributions(
     out
 }
 
-/// Total-time-fraction distribution for a chosen set of ASes — Fig. 2
+/// Total-time-fraction curve for a chosen set of ASes — Fig. 2
 /// (the five ASes hosting the most probes that yielded durations).
 pub fn as_distributions(
     probes: &[AnalyzableProbe],
     top_n: usize,
-) -> Vec<(Asn, TtfDistribution, usize)> {
+) -> Vec<(Asn, TtfCurve, usize)> {
     let mut durations: BTreeMap<u32, TtfDistribution> = BTreeMap::new();
     let mut probe_counts: BTreeMap<u32, usize> = BTreeMap::new();
     for p in probes {
@@ -85,7 +84,8 @@ pub fn as_distributions(
         .into_iter()
         .take(top_n)
         .map(|(asn, count)| {
-            (Asn(asn), durations.remove(&asn).expect("counted implies present"), count)
+            let dist = durations.remove(&asn).expect("counted implies present");
+            (Asn(asn), dist.finalize(), count)
         })
         .collect()
 }
@@ -139,10 +139,10 @@ mod tests {
         let probes = probes();
         let dists = continent_distributions(&probes);
         assert_eq!(dists.len(), 2);
-        let mut by_cont: BTreeMap<Continent, TtfDistribution> = dists.into_iter().collect();
-        let eu = by_cont.get_mut(&Continent::EU).unwrap();
+        let by_cont: BTreeMap<Continent, TtfCurve> = dists.into_iter().collect();
+        let eu = &by_cont[&Continent::EU];
         assert!(eu.fraction_at_mode(24.0, 0.05) > 0.9, "EU is all 24 h");
-        let na = by_cont.get_mut(&Continent::NA).unwrap();
+        let na = &by_cont[&Continent::NA];
         assert!(na.fraction_le_hours(24.0 * 40.0) < 0.1, "NA durations are ~49 d");
     }
 

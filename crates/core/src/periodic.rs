@@ -133,19 +133,21 @@ pub fn table5(
     names: &BTreeMap<u32, String>,
     cfg: &PeriodicConfig,
 ) -> (Vec<Table5Row>, Vec<(Asn, ProbePeriodicity)>) {
-    // Per-probe verdicts over the AS-level population.
-    let mut verdicts: Vec<(Asn, ProbePeriodicity, Vec<SimDuration>)> = Vec::new();
-    for p in probes {
-        if p.multi_as {
-            continue;
-        }
-        let durations = p.same_as_durations();
-        if durations.is_empty() {
-            continue;
-        }
-        let verdict = classify_probe(&durations, cfg.tolerance);
-        verdicts.push((p.primary_asn, verdict, durations));
-    }
+    // Per-probe verdicts over the AS-level population. Duration extraction
+    // and clustering are independent per probe; fan out and keep the
+    // verdicts in probe order.
+    let verdicts: Vec<(Asn, ProbePeriodicity, Vec<SimDuration>)> =
+        dynaddr_exec::par_map_flat(probes, |p| {
+            if p.multi_as {
+                return Vec::new();
+            }
+            let durations = p.same_as_durations();
+            if durations.is_empty() {
+                return Vec::new();
+            }
+            let verdict = classify_probe(&durations, cfg.tolerance);
+            vec![(p.primary_asn, verdict, durations)]
+        });
 
     // Group by (asn, d) for periodic probes; count N per asn.
     let mut n_by_asn: BTreeMap<u32, usize> = BTreeMap::new();

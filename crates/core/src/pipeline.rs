@@ -19,8 +19,9 @@ use crate::hourly::{peak_window_fraction, periodic_change_hours};
 use crate::outages::{detect_network_outages, detect_power_outages, detect_reboots, Reboot};
 use crate::periodic::{table5, PeriodicConfig, Table5Row};
 use crate::prefixes::{prefix_changes, Table7};
-use crate::ttf::TtfDistribution;
+use crate::ttf::TtfCurve;
 use dynaddr_atlas::logs::AtlasDataset;
+use dynaddr_exec::{par_map_flat, par_run};
 use dynaddr_ip2as::MonthlySnapshots;
 use dynaddr_types::{Asn, ProbeId};
 use serde::Serialize;
@@ -84,28 +85,35 @@ pub struct TtfSummary {
 }
 
 impl TtfSummary {
-    fn build(label: String, mut dist: TtfDistribution) -> TtfSummary {
+    fn build(label: String, curve: TtfCurve) -> TtfSummary {
         let grid: Vec<f64> = log_grid();
         TtfSummary {
             label,
-            total_years: dist.total_years(),
-            n_durations: dist.count(),
-            curve: dist.sampled_curve(&grid),
-            mode_24h: dist.fraction_at_mode(24.0, 0.05),
-            mode_168h: dist.fraction_at_mode(168.0, 0.05),
-            median_hours: median_hours(&mut dist),
+            total_years: curve.total_years(),
+            n_durations: curve.count(),
+            curve: curve.sampled_curve(&grid),
+            mode_24h: curve.fraction_at_mode(24.0, 0.05),
+            mode_168h: curve.fraction_at_mode(168.0, 0.05),
+            median_hours: median_hours(&curve),
         }
     }
 }
 
-fn median_hours(dist: &mut TtfDistribution) -> f64 {
-    // Walk the curve to the 0.5 crossing.
-    for (h, f) in dist.curve() {
-        if f >= 0.5 {
-            return h;
-        }
-    }
-    0.0
+/// Median duration in hours, by total-time weight: the first curve step at
+/// or past the 0.5 crossing. An empty distribution has no median and
+/// reports 0.0. A non-empty curve whose accumulated fraction never reaches
+/// 0.5 (possible only through floating-point round-off in the final step)
+/// reports its last breakpoint rather than collapsing to zero.
+fn median_hours(curve: &TtfCurve) -> f64 {
+    let steps = curve.curve();
+    let Some(last) = steps.last().copied() else {
+        return 0.0;
+    };
+    steps
+        .iter()
+        .find(|(_, f)| *f >= 0.5)
+        .map(|(h, _)| *h)
+        .unwrap_or(last.0)
 }
 
 /// Log-spaced sampling grid from 15 minutes to two months, densified around
@@ -253,40 +261,42 @@ pub fn outage_analysis_opts(
     probes: &[AnalyzableProbe],
     filter_firmware: bool,
 ) -> OutageAnalysis {
-    // Reboots across all analyzable probes feed the Fig. 6 series.
-    let mut all_reboots: Vec<Reboot> = Vec::new();
-    for p in probes {
-        all_reboots.extend(detect_reboots(dataset.uptime_of(p.probe())));
-    }
+    // Reboots across all analyzable probes feed the Fig. 6 series; detection
+    // reads each probe's own uptime log, so it fans out per probe.
+    let all_reboots: Vec<Reboot> =
+        par_map_flat(probes, |p| detect_reboots(dataset.uptime_of(p.probe())));
     let series = reboot_series(&all_reboots);
-    let cleaned = if filter_firmware {
-        strip_firmware_reboots(&all_reboots, &series.update_days)
-    } else {
-        all_reboots.clone()
-    };
     let firmware = FirmwarePanel {
         daily: series.daily_unique_probes.clone(),
         median: series.median,
         update_days: series.update_days.clone(),
     };
+    let cleaned = if filter_firmware {
+        strip_firmware_reboots(&all_reboots, &series.update_days)
+    } else {
+        // The unfiltered ablation keeps every reboot; nothing reads
+        // `all_reboots` past this point, so move it instead of cloning.
+        all_reboots
+    };
 
-    // Per-probe association.
+    // Per-probe detection + gap association, again independent per probe:
+    // workers share the dataset and the cleaned reboot map read-only.
     let mut by_probe: BTreeMap<u32, Vec<Reboot>> = BTreeMap::new();
     for r in &cleaned {
         by_probe.entry(r.probe.0).or_default().push(*r);
     }
-    let mut outages = Vec::new();
-    for p in probes {
+    let outages = par_map_flat(probes, |p| {
         let kroot = dataset.kroot_of(p.probe());
         let network = detect_network_outages(kroot);
-        outages.extend(associate_network(&p.events.gaps, &network));
+        let mut found = associate_network(&p.events.gaps, &network);
         // Power analysis only on hardware with reliable uptime counters.
         if p.meta.version.reliable_uptime() {
             let reboots = by_probe.get(&p.probe().0).map(|v| v.as_slice()).unwrap_or(&[]);
             let power = detect_power_outages(reboots, kroot, &network);
-            outages.extend(associate_power(&p.events.gaps, &power));
+            found.extend(associate_power(&p.events.gaps, &power));
         }
-    }
+        found
+    });
     OutageAnalysis { outages, reboots: cleaned, firmware }
 }
 
@@ -308,20 +318,34 @@ pub fn analyze(
     let probes = &report.probes;
 
     // ----- Durations & TTF (Figs. 1–3) ------------------------------------
-    let fig1_continents = continent_distributions(probes)
-        .into_iter()
-        .map(|(c, d)| TtfSummary::build(c.to_string(), d))
-        .collect();
-    let fig2_top_ases = as_distributions(probes, cfg.top_n_ases)
-        .into_iter()
-        .map(|(asn, d, n)| {
-            TtfSummary::build(format!("{} ({} probes)", name_of(asn.0), n), d)
-        })
-        .collect();
-    let fig3_country = country_as_distributions(probes, &cfg.fig3_country, cfg.fig3_min_years)
-        .into_iter()
-        .map(|(asn, d)| TtfSummary::build(name_of(asn.0), d))
-        .collect();
+    // The three panels read the same probe set but share no state; each gets
+    // its own scoped thread when the executor allows it.
+    let ttf_tasks: Vec<Box<dyn FnOnce() -> Vec<TtfSummary> + Send + '_>> = vec![
+        Box::new(|| {
+            continent_distributions(probes)
+                .into_iter()
+                .map(|(c, d)| TtfSummary::build(c.to_string(), d))
+                .collect()
+        }),
+        Box::new(|| {
+            as_distributions(probes, cfg.top_n_ases)
+                .into_iter()
+                .map(|(asn, d, n)| {
+                    TtfSummary::build(format!("{} ({} probes)", name_of(asn.0), n), d)
+                })
+                .collect()
+        }),
+        Box::new(|| {
+            country_as_distributions(probes, &cfg.fig3_country, cfg.fig3_min_years)
+                .into_iter()
+                .map(|(asn, d)| TtfSummary::build(name_of(asn.0), d))
+                .collect()
+        }),
+    ];
+    let mut ttf_panels = par_run(ttf_tasks).into_iter();
+    let fig1_continents = ttf_panels.next().expect("three TTF panels");
+    let fig2_top_ases = ttf_panels.next().expect("three TTF panels");
+    let fig3_country = ttf_panels.next().expect("three TTF panels");
 
     // ----- Periodic classification (Table 5) -------------------------------
     let (table5_rows, _verdicts) = table5(probes, &cfg.as_names, &cfg.periodic);

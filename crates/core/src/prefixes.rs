@@ -61,20 +61,34 @@ pub struct Table7 {
 }
 
 /// Computes Table 7 over the AS-level probe population.
+///
+/// The longest-prefix-match lookups dominate the cost, so they run per probe
+/// across the executor's workers; the boolean verdicts are folded into the
+/// shared counters sequentially in probe order.
 pub fn prefix_changes(probes: &[AnalyzableProbe], snapshots: &MonthlySnapshots) -> Table7 {
+    // (diff_bgp, diff_16, diff_8) per within-AS change of one probe.
+    let per_probe: Vec<(u32, Vec<(bool, bool, bool)>)> =
+        dynaddr_exec::par_map(probes, |p| {
+            let mut verdicts = Vec::new();
+            if !p.multi_as {
+                for &i in &p.same_as_changes() {
+                    let c = &p.events.changes[i];
+                    let from_bgp = snapshots.prefix_at(c.gap_start, c.from);
+                    let to_bgp = snapshots.prefix_at(c.gap_end, c.to);
+                    verdicts.push((
+                        from_bgp != to_bgp,
+                        slash16(c.from) != slash16(c.to),
+                        slash8(c.from) != slash8(c.to),
+                    ));
+                }
+            }
+            (p.primary_asn.0, verdicts)
+        });
+
     let mut t = Table7::default();
-    for p in probes {
-        if p.multi_as {
-            continue;
-        }
-        for &i in &p.same_as_changes() {
-            let c = &p.events.changes[i];
-            let from_bgp = snapshots.prefix_at(c.gap_start, c.from);
-            let to_bgp = snapshots.prefix_at(c.gap_end, c.to);
-            let diff_bgp = from_bgp != to_bgp;
-            let diff_16 = slash16(c.from) != slash16(c.to);
-            let diff_8 = slash8(c.from) != slash8(c.to);
-            for counts in [&mut t.overall, t.per_as.entry(p.primary_asn.0).or_default()] {
+    for (asn, verdicts) in per_probe {
+        for (diff_bgp, diff_16, diff_8) in verdicts {
+            for counts in [&mut t.overall, t.per_as.entry(asn).or_default()] {
                 counts.changes += 1;
                 if diff_bgp {
                     counts.diff_bgp += 1;

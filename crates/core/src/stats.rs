@@ -94,6 +94,13 @@ impl WeightedCdf {
         out
     }
 
+    /// Consumes the distribution, returning its points sorted by value plus
+    /// the total weight — the raw material of a finalized curve.
+    pub fn into_sorted_points(mut self) -> (Vec<(f64, f64)>, f64) {
+        self.ensure_sorted();
+        (self.points, self.total_weight)
+    }
+
     /// The value at a cumulative fraction `q` in `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         if self.points.is_empty() {

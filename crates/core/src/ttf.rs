@@ -108,7 +108,11 @@ pub fn dominant_cluster(durations: &[SimDuration], tol: f64) -> Option<DurationC
         .max_by(|a, b| a.total_secs.cmp(&b.total_secs))
 }
 
-/// A group-level total-time-fraction distribution (continent, country, AS).
+/// A group-level total-time-fraction distribution under construction
+/// (continent, country, AS). Push durations in, then [`finalize`] into an
+/// immutable [`TtfCurve`] for querying.
+///
+/// [`finalize`]: TtfDistribution::finalize
 #[derive(Debug, Clone, Default)]
 pub struct TtfDistribution {
     cdf: WeightedCdf,
@@ -146,27 +150,90 @@ impl TtfDistribution {
         self.total_secs as f64 / (365.0 * 86_400.0)
     }
 
-    /// Fraction of total time in durations ≤ `hours` (the y-axis of
-    /// Figs. 1–3).
-    pub fn fraction_le_hours(&mut self, hours: f64) -> f64 {
-        self.cdf.fraction_le(hours)
+    /// Sorts the accumulated durations once and freezes them into an
+    /// immutable, query-ready [`TtfCurve`].
+    pub fn finalize(self) -> TtfCurve {
+        let (points, total_weight) = self.cdf.into_sorted_points();
+        let mut steps = Vec::with_capacity(points.len());
+        let mut acc = 0.0;
+        for (hours, weight) in points {
+            acc += weight;
+            steps.push((hours, acc));
+        }
+        TtfCurve { steps, total_weight, total_secs: self.total_secs }
+    }
+}
+
+/// A finalized total-time-fraction curve: durations sorted and accumulated
+/// once at construction, so every query is `&self`, `O(log n)`, and the
+/// type is `Sync` — curves can be queried from any number of worker threads
+/// without locking or re-sorting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TtfCurve {
+    /// `(hours, cumulative weight)`, sorted by hours.
+    steps: Vec<(f64, f64)>,
+    total_weight: f64,
+    total_secs: i64,
+}
+
+impl TtfCurve {
+    /// Number of durations.
+    pub fn count(&self) -> usize {
+        self.steps.len()
     }
 
-    /// Total time fraction at a mode `hours` with relative tolerance.
-    pub fn fraction_at_mode(&mut self, hours: f64, tol: f64) -> f64 {
-        self.cdf.fraction_near(hours, tol)
+    /// Whether the curve holds no durations.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total address time in years (the legend numbers of Figs. 1–3).
+    pub fn total_years(&self) -> f64 {
+        self.total_secs as f64 / (365.0 * 86_400.0)
+    }
+
+    /// Fraction of total time in durations ≤ `hours` (the y-axis of
+    /// Figs. 1–3).
+    pub fn fraction_le_hours(&self, hours: f64) -> f64 {
+        if self.total_weight == 0.0 {
+            return 0.0;
+        }
+        let idx = self.steps.partition_point(|(v, _)| *v <= hours);
+        if idx == 0 {
+            0.0
+        } else {
+            self.steps[idx - 1].1 / self.total_weight
+        }
+    }
+
+    /// Total time fraction at a mode `hours` with relative tolerance —
+    /// weight within `[hours(1-tol), hours(1+tol)]`.
+    pub fn fraction_at_mode(&self, hours: f64, tol: f64) -> f64 {
+        if self.total_weight == 0.0 {
+            return 0.0;
+        }
+        let lo = hours * (1.0 - tol);
+        let hi = hours * (1.0 + tol);
+        let a = self.steps.partition_point(|(v, _)| *v < lo);
+        let b = self.steps.partition_point(|(v, _)| *v <= hi);
+        if b <= a {
+            return 0.0;
+        }
+        let below = if a == 0 { 0.0 } else { self.steps[a - 1].1 };
+        (self.steps[b - 1].1 - below) / self.total_weight
     }
 
     /// The full cumulative curve `(hours, fraction)`.
-    pub fn curve(&mut self) -> Vec<(f64, f64)> {
-        self.cdf.curve()
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let denom = self.total_weight.max(f64::MIN_POSITIVE);
+        self.steps.iter().map(|&(v, acc)| (v, acc / denom)).collect()
     }
 
     /// Samples the curve at fixed breakpoints (for rendering and testing).
-    pub fn sampled_curve(&mut self, breakpoints_hours: &[f64]) -> Vec<(f64, f64)> {
+    pub fn sampled_curve(&self, breakpoints_hours: &[f64]) -> Vec<(f64, f64)> {
         breakpoints_hours
             .iter()
-            .map(|&h| (h, self.cdf.fraction_le(h)))
+            .map(|&h| (h, self.fraction_le_hours(h)))
             .collect()
     }
 }
@@ -239,10 +306,12 @@ mod tests {
         dist.extend(vec![h(24.0); 9]);
         dist.push(h(216.0)); // one long duration, same weight as the 9 short
         assert_eq!(dist.count(), 10);
-        assert!((dist.fraction_le_hours(24.0) - 0.5).abs() < 1e-9);
-        assert!((dist.fraction_le_hours(300.0) - 1.0).abs() < 1e-9);
-        assert!((dist.fraction_at_mode(24.0, 0.05) - 0.5).abs() < 1e-9);
-        let years = dist.total_years();
+        let curve = dist.finalize();
+        assert_eq!(curve.count(), 10);
+        assert!((curve.fraction_le_hours(24.0) - 0.5).abs() < 1e-9);
+        assert!((curve.fraction_le_hours(300.0) - 1.0).abs() < 1e-9);
+        assert!((curve.fraction_at_mode(24.0, 0.05) - 0.5).abs() < 1e-9);
+        let years = curve.total_years();
         assert!((years - (9.0 * 24.0 + 216.0) / (365.0 * 24.0)).abs() < 1e-9);
     }
 
@@ -250,11 +319,34 @@ mod tests {
     fn sampled_curve_matches_fraction_le() {
         let mut dist = TtfDistribution::new();
         dist.extend(vec![h(2.0), h(30.0), h(200.0)]);
-        let samples = dist.sampled_curve(&paper_breakpoints_hours());
+        let curve = dist.finalize();
+        let samples = curve.sampled_curve(&paper_breakpoints_hours());
         assert_eq!(samples.len(), 9);
         for (x, y) in samples {
-            assert!((y - dist.fraction_le_hours(x)).abs() < 1e-12);
+            assert!((y - curve.fraction_le_hours(x)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn finalized_curve_is_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<TtfCurve>();
+        let mut dist = TtfDistribution::new();
+        dist.extend(vec![h(24.0), h(48.0)]);
+        let curve = dist.finalize();
+        let full = curve.curve();
+        assert_eq!(full.len(), 2);
+        assert!((full.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(curve.fraction_at_mode(1.0, 0.05) == 0.0, "no mass near 1h");
+    }
+
+    #[test]
+    fn empty_curve_queries_are_zero() {
+        let curve = TtfDistribution::new().finalize();
+        assert!(curve.is_empty());
+        assert_eq!(curve.fraction_le_hours(24.0), 0.0);
+        assert_eq!(curve.fraction_at_mode(24.0, 0.05), 0.0);
+        assert!(curve.curve().is_empty());
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Deterministic data-parallel execution on scoped threads.
+//!
+//! The analysis pipeline is embarrassingly parallel per probe, per AS, and
+//! per panel, but its outputs must be byte-identical regardless of how many
+//! workers run. This crate provides chunked [`par_map`]/[`par_map_flat`]
+//! built on [`std::thread::scope`] — no external dependencies — that always
+//! reassemble results in input order, so any pure per-item function
+//! produces exactly the same output at any thread count.
+//!
+//! Worker count resolution, highest priority first:
+//! 1. a process-wide override set with [`set_threads`] (used by the
+//!    `--threads` CLI flags),
+//! 2. the `DYNADDR_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With one worker every combinator degrades to a plain sequential loop on
+//! the calling thread — no scope, no spawns — so single-threaded runs have
+//! zero threading overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or with `None` clears) the process-wide worker-count override.
+/// Takes precedence over `DYNADDR_THREADS` and the detected parallelism.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The worker count the next parallel call will use.
+pub fn current_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(var) = std::env::var("DYNADDR_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items`, in parallel over contiguous chunks, returning
+/// results in input order. Deterministic for pure `f`: the output is
+/// identical at any worker count.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = current_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par_map worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in &mut chunks {
+        out.append(chunk);
+    }
+    out
+}
+
+/// Like [`par_map`] but flattens per-item result vectors, preserving input
+/// order: the output equals `items.iter().flat_map(f).collect()`.
+pub fn par_map_flat<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Vec<R> + Sync,
+{
+    let per_item = par_map(items, f);
+    let mut out = Vec::with_capacity(per_item.iter().map(Vec::len).sum());
+    for mut v in per_item {
+        out.append(&mut v);
+    }
+    out
+}
+
+/// Runs a set of heterogeneous tasks, one scoped thread each, returning
+/// their results in task order. With one worker the tasks run sequentially
+/// on the calling thread. Use for a handful of coarse independent jobs
+/// (e.g. the pipeline's figure panels), not for fine-grained items.
+pub fn par_run<'env, R: Send>(tasks: Vec<Box<dyn FnOnce() -> R + Send + 'env>>) -> Vec<R> {
+    if current_threads() <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks.into_iter().map(|t| scope.spawn(t)).collect();
+        handles.into_iter().map(|h| h.join().expect("par_run task panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Serializes tests that toggle the global override.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn par_map_matches_sequential_at_every_thread_count() {
+        let _guard = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 7, 64] {
+            set_threads(Some(threads));
+            assert_eq!(par_map(&items, |x| x * x + 1), expected, "threads={threads}");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn par_map_flat_preserves_order_and_handles_empty_outputs() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(Some(3));
+        let items: Vec<u32> = (0..100).collect();
+        let flat = par_map_flat(&items, |&x| {
+            if x % 3 == 0 {
+                vec![]
+            } else {
+                vec![x * 10, x * 10 + 1]
+            }
+        });
+        let expected: Vec<u32> = items
+            .iter()
+            .flat_map(|&x| if x % 3 == 0 { vec![] } else { vec![x * 10, x * 10 + 1] })
+            .collect();
+        assert_eq!(flat, expected);
+        set_threads(None);
+    }
+
+    #[test]
+    fn par_run_returns_results_in_task_order() {
+        let _guard = LOCK.lock().unwrap();
+        for threads in [1, 4] {
+            set_threads(Some(threads));
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+                .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            assert_eq!(par_run(tasks), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(Some(8));
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[5], |x| x + 1), vec![6]);
+        set_threads(None);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(Some(3));
+        assert_eq!(current_threads(), 3);
+        set_threads(None);
+        assert!(current_threads() >= 1);
+    }
+
+    proptest! {
+        /// par_map must agree with the sequential map for arbitrary inputs
+        /// and worker counts, in content and in order.
+        #[test]
+        fn par_map_equals_vec_map(
+            items in proptest::collection::vec(any::<u32>(), 0..300),
+            threads in 1usize..9,
+        ) {
+            let _guard = LOCK.lock().unwrap();
+            set_threads(Some(threads));
+            let par: Vec<u64> = par_map(&items, |&x| x as u64 * 3 + 7);
+            set_threads(None);
+            let seq: Vec<u64> = items.iter().map(|&x| x as u64 * 3 + 7).collect();
+            prop_assert_eq!(par, seq);
+        }
+    }
+}

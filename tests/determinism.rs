@@ -1,0 +1,39 @@
+//! Thread-count invariance: the parallel executor must not change a single
+//! byte of the analysis output. The whole pipeline — simulation, filtering,
+//! and every table/figure — runs pinned to 1 thread, to 2 threads, and with
+//! the override cleared (whatever the machine offers), and the serialized
+//! reports are compared byte for byte.
+
+use dynaddr::analysis::pipeline::{analyze, AnalysisConfig, AnalysisReport};
+use dynaddr::atlas::world::{paper_route_tables, paper_world};
+use dynaddr::atlas::simulate;
+
+fn report_at(threads: Option<usize>) -> AnalysisReport {
+    dynaddr_exec::set_threads(threads);
+    let world = paper_world(0.03, 7);
+    let out = simulate(&world);
+    let snaps = paper_route_tables(&world);
+    let report = analyze(&out.dataset, &snaps, &AnalysisConfig::default());
+    dynaddr_exec::set_threads(None);
+    report
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let sequential = serde_json::to_string(&report_at(Some(1))).expect("serializes");
+    let two = serde_json::to_string(&report_at(Some(2))).expect("serializes");
+    assert_eq!(sequential, two, "1-thread and 2-thread reports differ");
+
+    // Whatever available_parallelism() picks must agree too.
+    let ambient = serde_json::to_string(&report_at(None)).expect("serializes");
+    assert_eq!(sequential, ambient, "1-thread and ambient-thread reports differ");
+}
+
+#[test]
+fn oversubscribed_executor_is_still_identical() {
+    // More workers than work: empty chunks and tiny chunks must not change
+    // ordering or drop items.
+    let sequential = serde_json::to_string(&report_at(Some(1))).expect("serializes");
+    let many = serde_json::to_string(&report_at(Some(64))).expect("serializes");
+    assert_eq!(sequential, many, "64-thread report differs from sequential");
+}

@@ -1,0 +1,83 @@
+//! Deterministic case generation and failure reporting.
+
+use std::fmt;
+
+/// A failed property-test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail<T: fmt::Display>(msg: T) -> TestCaseError {
+        TestCaseError { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-test configuration: case count and the deterministic seed stream.
+pub struct TestRunner {
+    /// Number of cases to run.
+    pub cases: u64,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named test. The name feeds the seed so
+    /// different tests explore different streams; `PROPTEST_CASES`
+    /// overrides the case count.
+    pub fn new(name: &str) -> TestRunner {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        // FNV-1a over the test name.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { cases, seed }
+    }
+
+    /// The RNG for one case index.
+    pub fn rng_for(&self, case: u64) -> TestRng {
+        TestRng { state: self.seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+    }
+}
+
+/// SplitMix64 generator backing strategy sampling.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

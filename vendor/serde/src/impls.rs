@@ -1,0 +1,312 @@
+//! `Serialize`/`Deserialize` implementations for the std types the
+//! workspace serializes.
+
+use crate::de::Error;
+use crate::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+macro_rules! impl_signed {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "invalid type: expected integer, found {}", v.kind()
+                    )))?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::custom(format!("integer {i} out of range")))
+            }
+        }
+    )+};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "invalid type: expected unsigned integer, found {}", v.kind()
+                    )))?;
+                <$t>::try_from(u)
+                    .map_err(|_| Error::custom(format!("integer {u} out of range")))
+            }
+        }
+    )+};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| Error::custom(format!(
+                    "invalid type: expected number, found {}", v.kind()
+                )))
+            }
+        }
+    )+};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "invalid type: expected boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "invalid type: expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!(
+                "invalid type: expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, found {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $(($idx:tt, $name:ident)),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = crate::__private::expect_array(v, $len, "tuple")?;
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => (0, A));
+impl_tuple!(2 => (0, A), (1, B));
+impl_tuple!(3 => (0, A), (1, B), (2, C));
+impl_tuple!(4 => (0, A), (1, B), (2, C), (3, D));
+
+/// Renders a serialized map key as a JSON object key, mirroring
+/// serde_json's integer-keys-as-strings behavior.
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key type: {}", other.kind()),
+    }
+}
+
+/// Recovers a map key from its object-key string: tries the string form
+/// first, then the numeric forms, so both `BTreeMap<String, _>` and integer
+/// or integer-newtype keys roundtrip.
+fn key_from_string<'de, K: Deserialize<'de>>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot decode map key `{s}`")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((key_from_string(k)?, V::deserialize(val)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "invalid type: expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Ipv4Addr {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| Error::custom(format!("invalid IPv4 address `{s}`"))),
+            other => Err(Error::custom(format!(
+                "invalid type: expected IPv4 string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Ipv6Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Ipv6Addr {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| Error::custom(format!("invalid IPv6 address `{s}`"))),
+            other => Err(Error::custom(format!(
+                "invalid type: expected IPv6 string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,151 @@
+//! Vendored, std-only stand-in for `serde` + `serde_derive`.
+//!
+//! The build environment resolves crates offline, so the workspace carries a
+//! minimal serialization framework exposing the same *surface* the code
+//! uses: `Serialize`/`Deserialize` traits, `#[derive(Serialize,
+//! Deserialize)]`, `#[serde(transparent)]`, and `#[serde(rename_all =
+//! "kebab-case")]`. Instead of serde's visitor architecture it serializes
+//! through an owned [`Value`] tree (see `vendor/serde_json` for the JSON
+//! text layer). Formats match serde_json's defaults where the workspace
+//! depends on them: transparent newtypes as bare values, externally-tagged
+//! enums, maps as objects with stringified keys, and IP addresses as
+//! display strings.
+
+mod impls;
+mod value;
+
+pub use value::Value;
+
+pub mod de {
+    //! Deserialization error type.
+
+    use std::fmt;
+
+    /// Error produced when a [`Value`](crate::Value) tree or JSON document
+    /// cannot be decoded into the requested type.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Builds an error from any displayable message.
+        pub fn custom<T: fmt::Display>(msg: T) -> Error {
+            Error { msg: msg.to_string() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+///
+/// The lifetime parameter exists only for signature compatibility with
+/// serde's `for<'de> Deserialize<'de>` bounds; this implementation always
+/// decodes from an owned tree.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs a value from the tree, or reports why it cannot.
+    fn deserialize(v: &Value) -> Result<Self, de::Error>;
+}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod __private {
+    //! Helpers targeted by the derive macro. Not part of the public API.
+
+    use crate::de::Error;
+    use crate::Value;
+
+    /// Unwraps an object, or errors with the expecting type's name.
+    pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+        match v {
+            Value::Object(fields) => Ok(fields),
+            other => Err(Error::custom(format!(
+                "invalid type for {ty}: expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Unwraps an array of exactly `len` elements.
+    pub fn expect_array<'a>(v: &'a Value, len: usize, ty: &str) -> Result<&'a [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "invalid length for {ty}: expected {len} elements, found {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "invalid type for {ty}: expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up a struct field by name.
+    pub fn field<'a>(
+        fields: &'a [(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<&'a Value, Error> {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}` for {ty}")))
+    }
+
+    /// Splits an externally-tagged enum value into (variant name, payload).
+    /// Unit variants arrive as a bare string; data variants as a one-entry
+    /// object.
+    pub fn enum_variant<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, Option<&'a Value>), Error> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Object(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), Some(&fields[0].1)))
+            }
+            other => Err(Error::custom(format!(
+                "invalid type for enum {ty}: expected string or single-key object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Asserts a unit variant carries no payload.
+    pub fn expect_unit(data: Option<&Value>, variant: &str, ty: &str) -> Result<(), Error> {
+        match data {
+            None => Ok(()),
+            Some(_) => Err(Error::custom(format!(
+                "unexpected payload for unit variant {ty}::{variant}"
+            ))),
+        }
+    }
+
+    /// Asserts a data variant actually carries a payload.
+    pub fn expect_data<'a>(
+        data: Option<&'a Value>,
+        variant: &str,
+        ty: &str,
+    ) -> Result<&'a Value, Error> {
+        data.ok_or_else(|| {
+            Error::custom(format!("missing payload for variant {ty}::{variant}"))
+        })
+    }
+
+    /// Error for an unrecognized enum variant name.
+    pub fn unknown_variant(name: &str, ty: &str) -> Error {
+        Error::custom(format!("unknown variant `{name}` for enum {ty}"))
+    }
+}

@@ -1,0 +1,497 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! std-only serde stand-in.
+//!
+//! Parses the derive input by walking the raw token stream (no syn/quote —
+//! the build resolves crates offline) and emits impls against the traits in
+//! `vendor/serde`. Supported shapes are exactly what the workspace derives:
+//! named structs, tuple/newtype structs, and enums with unit, tuple, and
+//! struct variants; container attributes `#[serde(transparent)]` and
+//! `#[serde(rename_all = "kebab-case")]`. Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive emitted invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive emitted invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kebab_case: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct with its field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with its arity.
+    TupleStruct(usize),
+    /// Enum with its variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut transparent = false;
+    let mut kebab_case = false;
+
+    // Leading attributes: `# [ ... ]` pairs. Only #[serde(...)] matters;
+    // doc comments and everything else are skipped.
+    while matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(pos + 1) {
+            parse_container_attr(g.stream(), &mut transparent, &mut kebab_case);
+        }
+        pos += 2;
+    }
+
+    // Optional visibility: `pub` possibly followed by `(crate)` etc.
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(&tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+
+    let keyword = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving {name})");
+    }
+
+    let kind = match (keyword.as_str(), &tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("serde_derive: unsupported {kw} body for {name}: {other:?}"),
+    };
+
+    Item { name, transparent, kebab_case, kind }
+}
+
+/// Inspects one outer attribute group (the `[...]` tokens) for
+/// `serde(transparent)` / `serde(rename_all = "kebab-case")`.
+fn parse_container_attr(stream: TokenStream, transparent: &mut bool, kebab: &mut bool) {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else { return };
+    let text = args.stream().to_string();
+    if text.contains("transparent") {
+        *transparent = true;
+    }
+    if text.contains("rename_all") {
+        if text.contains("kebab-case") {
+            *kebab = true;
+        } else {
+            panic!("serde_derive: only rename_all = \"kebab-case\" is supported, got {text}");
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` from a brace-struct body, skipping attributes
+/// and visibility. Commas inside groups are invisible (they sit in their own
+/// token trees); commas inside generic arguments are tracked via `<`/`>`
+/// depth.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        fields.push(field);
+        pos += 1;
+        match &tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field, found {other:?}"),
+        }
+        pos = skip_type(&tokens, pos);
+        // Now at a top-level comma or the end.
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the `T, U, ...` fields of a paren-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        pos = skip_type(&tokens, pos);
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        pos += 1;
+        let shape = match &tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported");
+        }
+        variants.push(Variant { name, shape });
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    variants
+}
+
+/// Skips any number of `#[...]` attributes and an optional `pub`
+/// (+ restriction group) starting at `pos`; returns the new position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    loop {
+        match &tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => pos += 2,
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                pos += 1;
+                if matches!(
+                    &tokens.get(pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    pos += 1;
+                }
+            }
+            _ => return pos,
+        }
+    }
+}
+
+/// Skips one type starting at `pos`, stopping at a comma that sits at zero
+/// angle-bracket depth (or at end of tokens).
+fn skip_type(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return pos,
+            _ => {}
+        }
+        pos += 1;
+    }
+    pos
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-based; parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+/// serde's kebab-case: each uppercase letter starts a new `-`-joined word.
+fn kebab(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_tag(item: &Item, variant: &str) -> String {
+    if item.kebab_case {
+        kebab(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            if item.transparent {
+                assert_eq!(fields.len(), 1, "transparent struct {name} must have one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+            }
+        }
+        Kind::TupleStruct(arity) => {
+            // Newtype structs (and #[serde(transparent)]) serialize as the
+            // inner value; wider tuple structs as arrays.
+            if *arity == 1 || item.transparent {
+                assert_eq!(*arity, 1, "transparent tuple struct {name} must have one field");
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = variant_tag(item, &v.name);
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{tag}\"))"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{tag}\"), \
+                             ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![(\
+                                 ::std::string::String::from(\"{tag}\"), \
+                                 ::serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                                 ::std::string::String::from(\"{tag}\"), \
+                                 ::serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            if item.transparent {
+                assert_eq!(fields.len(), 1, "transparent struct {name} must have one field");
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::deserialize(__v)? }})",
+                    fields[0]
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize(\
+                             ::serde::__private::field(__obj, \"{f}\", \"{name}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __obj = ::serde::__private::expect_object(__v, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+        Kind::TupleStruct(arity) => {
+            if *arity == 1 || item.transparent {
+                assert_eq!(*arity, 1, "transparent tuple struct {name} must have one field");
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize(__v)?))"
+                )
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = ::serde::__private::expect_array(__v, {arity}, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = variant_tag(item, &v.name);
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "\"{tag}\" => {{ \
+                             ::serde::__private::expect_unit(__data, \"{vname}\", \"{name}\")?; \
+                             ::std::result::Result::Ok({name}::{vname}) }}"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "\"{tag}\" => {{ \
+                             let __d = ::serde::__private::expect_data(__data, \"{vname}\", \"{name}\")?; \
+                             ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize(__d)?)) }}"
+                        ),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{tag}\" => {{ \
+                                 let __d = ::serde::__private::expect_data(__data, \"{vname}\", \"{name}\")?; \
+                                 let __items = ::serde::__private::expect_array(__d, {n}, \"{name}\")?; \
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(\
+                                         ::serde::__private::field(__fields, \"{f}\", \"{name}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{tag}\" => {{ \
+                                 let __d = ::serde::__private::expect_data(__data, \"{vname}\", \"{name}\")?; \
+                                 let __fields = ::serde::__private::expect_object(__d, \"{name}\")?; \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __data) = ::serde::__private::enum_variant(__v, \"{name}\")?;\n\
+                 match __tag {{ {},\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::__private::unknown_variant(__other, \"{name}\")) }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

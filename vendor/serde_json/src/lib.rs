@@ -1,0 +1,180 @@
+//! Vendored, std-only JSON layer over the serde stand-in's value tree.
+//!
+//! Provides the workspace's serde_json surface: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and [`Error`]. Output conventions
+//! follow serde_json: compact form has no whitespace, pretty form indents
+//! with two spaces, floats print via Rust's shortest-roundtrip `Display`,
+//! and non-finite floats serialize as `null`.
+
+mod parse;
+
+pub use serde::de::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses a JSON document into any deserializable type.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::deserialize(&value)
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        Value::Array(_) => out.push_str("[]"),
+        Value::Object(_) => out.push_str("{}"),
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let s = f.to_string();
+        out.push_str(&s);
+        // Keep a numeric marker so integral floats stay floats on reparse,
+        // matching serde_json's `1.0` rendering.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_containers() {
+        let v: Vec<i64> = from_str("[1, -2, 3]").unwrap();
+        assert_eq!(v, vec![1, -2, 3]);
+        let s: String = from_str("\"a\\n\\\"b\\\" \\u00e9\"").unwrap();
+        assert_eq!(s, "a\n\"b\" é");
+        let f: f64 = from_str("2.5e2").unwrap();
+        assert_eq!(f, 250.0);
+        let o: Option<u32> = from_str("null").unwrap();
+        assert_eq!(o, None);
+        assert_eq!(to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string(&3.5f64).unwrap(), "3.5");
+        assert_eq!(to_string(&4.0f64).unwrap(), "4.0");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<f64>("not json").is_err());
+        assert!(from_str::<Vec<i64>>("[1,").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<f64>("1 2").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        use serde::Value;
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+    }
+}
