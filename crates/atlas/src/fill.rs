@@ -34,7 +34,24 @@ const FILLER_COUNTRIES: &[&str] = &[
     "ES", "RU", "US", "US", "CA", "JP", "IN", "SG", "ZA", "BR", "AU", "NZ",
 ];
 
+/// Which filler population a probe belongs to.
+#[derive(Debug, Clone, Copy)]
+enum FillerKind {
+    NeverChanged,
+    DualStack,
+    Ipv6Only,
+    Tagged { alternating: bool },
+    Alternating,
+    TestingStatic,
+}
+
 /// Appends filler probes to a simulation output.
+///
+/// Each probe is generated independently from its own `("filler", id)` RNG
+/// stream, so the work runs on the `dynaddr-exec` executor and the output
+/// is byte-identical at any worker count. Ids are assigned in category
+/// order (never-changed, dual-stack, IPv6-only, tagged, alternating,
+/// testing-static), ascending, right after the highest analyzable id.
 pub fn generate_filler(config: &WorldConfig, out: &mut SimOutput) {
     let next_id = out
         .dataset
@@ -44,43 +61,65 @@ pub fn generate_filler(config: &WorldConfig, out: &mut SimOutput) {
         .max()
         .unwrap_or(0)
         + 1;
-    let mut gen = FillerGen {
-        rng: SeedTree::new(config.seed).rng_for("filler"),
-        next_id,
-        out,
-    };
     let f = &config.filler;
-    for _ in 0..f.never_changed {
-        gen.never_changed();
-    }
-    for _ in 0..f.dual_stack {
-        gen.dual_stack();
-    }
-    for _ in 0..f.ipv6_only {
-        gen.ipv6_only();
-    }
+    let mut jobs: Vec<(u32, FillerKind)> = Vec::new();
+    let mut id = next_id;
+    let mut plan = |count: usize, kind: &mut dyn FnMut(usize) -> FillerKind| {
+        for i in 0..count {
+            jobs.push((id, kind(i)));
+            id += 1;
+        }
+    };
+    plan(f.never_changed, &mut |_| FillerKind::NeverChanged);
+    plan(f.dual_stack, &mut |_| FillerKind::DualStack);
+    plan(f.ipv6_only, &mut |_| FillerKind::Ipv6Only);
     let tagged_alternating = (f.tagged as f64 * f.tagged_alternating_frac).round() as usize;
-    for i in 0..f.tagged {
-        gen.tagged(i < tagged_alternating);
-    }
-    for _ in 0..f.alternating {
-        gen.alternating(false);
-    }
-    for _ in 0..f.testing_static {
-        gen.testing_static();
+    plan(f.tagged, &mut |i| FillerKind::Tagged { alternating: i < tagged_alternating });
+    plan(f.alternating, &mut |_| FillerKind::Alternating);
+    plan(f.testing_static, &mut |_| FillerKind::TestingStatic);
+
+    let seeds = SeedTree::new(config.seed);
+    let pieces = dynaddr_exec::par_map(&jobs, |&(id, kind)| {
+        let mut gen = FillerGen {
+            rng: seeds.rng_for_id("filler", u64::from(id)),
+            piece: SimPiece::default(),
+        };
+        gen.generate(ProbeId(id), kind);
+        gen.piece
+    });
+    for mut piece in pieces {
+        out.dataset.meta.append(&mut piece.meta);
+        out.dataset.connections.append(&mut piece.connections);
+        out.dataset.uptime.append(&mut piece.uptime);
     }
 }
 
-struct FillerGen<'a> {
+/// The log records one filler probe contributes.
+#[derive(Default)]
+struct SimPiece {
+    meta: Vec<ProbeMeta>,
+    connections: Vec<ConnectionLogEntry>,
+    uptime: Vec<SosUptimeRecord>,
+}
+
+struct FillerGen {
     rng: ChaCha12Rng,
-    next_id: u32,
-    out: &'a mut SimOutput,
+    piece: SimPiece,
 }
 
-impl FillerGen<'_> {
-    fn new_probe(&mut self, tags: Vec<ProbeTag>) -> (ProbeId, SimTime) {
-        let id = ProbeId(self.next_id);
-        self.next_id += 1;
+impl FillerGen {
+    fn generate(&mut self, id: ProbeId, kind: FillerKind) {
+        match kind {
+            FillerKind::NeverChanged => self.never_changed(id),
+            FillerKind::DualStack => self.dual_stack(id),
+            FillerKind::Ipv6Only => self.ipv6_only(id),
+            FillerKind::Tagged { alternating } => self.tagged(id, alternating),
+            FillerKind::Alternating => self.alternating(id),
+            FillerKind::TestingStatic => self.testing_static(id),
+        }
+    }
+
+    fn new_probe(&mut self, id: ProbeId, tags: Vec<ProbeTag>) -> SimTime {
         let country =
             Country::new(FILLER_COUNTRIES[self.rng.gen_range(0..FILLER_COUNTRIES.len())])
                 .expect("static codes are valid");
@@ -91,9 +130,8 @@ impl FillerGen<'_> {
         } else {
             ProbeVersion::V1
         };
-        self.out.dataset.meta.push(ProbeMeta { probe: id, version, country, tags });
-        let join = SimTime(-self.rng.gen_range(1..(60 * DAY)));
-        (id, join)
+        self.piece.meta.push(ProbeMeta { probe: id, version, country, tags });
+        SimTime(-self.rng.gen_range(1..(60 * DAY)))
     }
 
     fn rand_v4(&mut self) -> Ipv4Addr {
@@ -130,14 +168,14 @@ impl FillerGen<'_> {
         while t < SimTime::YEAR_END && i < peers.len() {
             let hold = self.rng.gen_range((2 * DAY)..(10 * DAY));
             let end = (t + SimDuration::from_secs(hold)).min(SimTime::YEAR_END);
-            self.out.dataset.connections.push(ConnectionLogEntry {
+            self.piece.connections.push(ConnectionLogEntry {
                 probe: id,
                 start: t,
                 end,
                 peer: peers[i],
             });
             if t >= SimTime::YEAR_START {
-                self.out.dataset.uptime.push(SosUptimeRecord {
+                self.piece.uptime.push(SosUptimeRecord {
                     probe: id,
                     timestamp: t,
                     uptime_secs: (t - boot).secs().max(0) as u64,
@@ -153,15 +191,15 @@ impl FillerGen<'_> {
         self.rng.gen_range(90..140)
     }
 
-    fn never_changed(&mut self) {
-        let (id, join) = self.new_probe(vec![ProbeTag::Home]);
+    fn never_changed(&mut self, id: ProbeId) {
+        let join = self.new_probe(id, vec![ProbeTag::Home]);
         let addr = PeerAddr::V4(self.rand_v4());
         let peers = vec![addr; self.segments()];
         self.emit_sequence(id, join, &peers);
     }
 
-    fn dual_stack(&mut self) {
-        let (id, join) = self.new_probe(vec![ProbeTag::Home]);
+    fn dual_stack(&mut self, id: ProbeId) {
+        let join = self.new_probe(id, vec![ProbeTag::Home]);
         let v4 = self.rand_v4();
         let v6 = self.rand_v6();
         let n = self.segments();
@@ -182,20 +220,20 @@ impl FillerGen<'_> {
         self.emit_sequence(id, join, &peers);
     }
 
-    fn ipv6_only(&mut self) {
-        let (id, join) = self.new_probe(vec![ProbeTag::Home]);
+    fn ipv6_only(&mut self, id: ProbeId) {
+        let join = self.new_probe(id, vec![ProbeTag::Home]);
         let v6 = PeerAddr::V6(self.rand_v6());
         let peers = vec![v6; self.segments()];
         self.emit_sequence(id, join, &peers);
     }
 
-    fn tagged(&mut self, behaves_multihomed: bool) {
+    fn tagged(&mut self, id: ProbeId, behaves_multihomed: bool) {
         let tag = match self.rng.gen_range(0..3) {
             0 => ProbeTag::Multihomed,
             1 => ProbeTag::Datacentre,
             _ => ProbeTag::Core,
         };
-        let (id, join) = self.new_probe(vec![tag]);
+        let join = self.new_probe(id, vec![tag]);
         if behaves_multihomed {
             self.alternating_sequence(id, join);
         } else {
@@ -205,8 +243,8 @@ impl FillerGen<'_> {
         }
     }
 
-    fn alternating(&mut self, _tagged: bool) {
-        let (id, join) = self.new_probe(vec![ProbeTag::Home]);
+    fn alternating(&mut self, id: ProbeId) {
+        let join = self.new_probe(id, vec![ProbeTag::Home]);
         self.alternating_sequence(id, join);
     }
 
@@ -230,12 +268,12 @@ impl FillerGen<'_> {
         self.emit_sequence(id, join, &peers);
     }
 
-    fn testing_static(&mut self) {
-        let (id, _) = self.new_probe(vec![ProbeTag::Home]);
+    fn testing_static(&mut self, id: ProbeId) {
+        let _ = self.new_probe(id, vec![ProbeTag::Home]);
         // First connection from the RIPE NCC testing bench, briefly into the
         // year, then one stable address at the host.
         let handover = SimTime(self.rng.gen_range(0..(20 * DAY)));
-        self.out.dataset.connections.push(ConnectionLogEntry {
+        self.piece.connections.push(ConnectionLogEntry {
             probe: id,
             start: handover - SimDuration::from_days(2),
             end: handover,

@@ -19,6 +19,10 @@
 //! Worlds are described by a [`config::WorldConfig`]; [`world::paper_world`]
 //! builds the scripted deployment that mirrors the paper's Tables 5–7
 //! populations, scalable from unit-test size to full 10,977-probe scale.
+//!
+//! The simulation runs sharded: independent ISP components get their own
+//! event queues and execute concurrently on the `dynaddr-exec` executor,
+//! with output byte-identical at any worker count (see [`sim`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod config;
 pub mod engine;
 pub mod fill;
 pub mod logs;
+mod shard;
 pub mod sim;
 pub mod truth;
 pub mod world;
@@ -35,6 +40,8 @@ pub use config::{FillerSpec, IspSpec, OutageSpec, WorldConfig};
 pub use logs::{
     AtlasDataset, ConnectionLogEntry, KrootPingRecord, PeerAddr, ProbeMeta, SosUptimeRecord,
 };
-pub use sim::{simulate, SimOutput};
+pub use sim::{
+    simulate, simulate_instrumented, simulate_with_shard_cap, SimOutput, SimStats,
+};
 pub use truth::{ChangeCause, GroundTruth, TruthOutage, TruthOutageKind};
 pub use world::{paper_route_tables, paper_world};

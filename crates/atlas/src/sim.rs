@@ -1,8 +1,8 @@
 //! The discrete-event simulation of analyzable probes.
 //!
 //! Each analyzable probe sits behind a CPE attached to one ISP
-//! ([`dynaddr_ispnet::IspNetwork`]). The event loop advances a single global
-//! clock through 2015, processing per-probe events:
+//! ([`dynaddr_ispnet::IspNetwork`]). An event loop advances a clock through
+//! 2015, processing per-probe events:
 //!
 //! * **outages** (network / power, Poisson arrivals with per-probe rate
 //!   multipliers and heavy-tailed durations) — processed atomically: the
@@ -15,6 +15,21 @@
 //! * **controller drops** — TCP breaks with no outage and no change;
 //! * **moves** — probes that switch ISP mid-year (multi-AS probes);
 //! * **administrative renumbering** — one ISP migrating its pool.
+//!
+//! ## Sharding
+//!
+//! There is no single global event loop. [`World::build`] instantiates
+//! every net and probe with stable global ids, then [`World::into_shards`]
+//! partitions them into connected components (see [`crate::shard`]): nets
+//! of one ASN form a unit, and mover probes add the only cross-ISP edges.
+//! Each shard owns its nets, its probes, and its own [`EventQueue`], so
+//! shards run concurrently on the `dynaddr-exec` executor with no shared
+//! mutable state. Every random draw comes from a [`SeedTree`] stream keyed
+//! by entity (`("probe", id)`, `("isp", asn)`, `("admin", asn)`, …), never
+//! from a shared world stream, so a shard replays exactly the event
+//! subsequence the unsharded loop would give its entities — and the merged,
+//! canonically sorted output is byte-identical at any thread count and any
+//! forced shard count.
 //!
 //! ## Log thinning
 //!
@@ -37,18 +52,22 @@ use crate::logs::{
 use crate::truth::{
     ChangeCause, GroundTruth, IspPolicyTruth, TruthChange, TruthOutage, TruthOutageKind,
 };
+use crate::shard::UnionFind;
 use dynaddr_ispnet::pool::{ClientId, PoolConfig};
 use dynaddr_ispnet::{IspNetwork, NextIspAction};
 use dynaddr_types::dist::{poisson_gap, DurationDist};
 use dynaddr_types::rng::SeedTree;
 use dynaddr_types::time::DAY;
 use dynaddr_types::{
-    Asn, Country, ProbeId, ProbeTag, ProbeVersion, SimDuration, SimTime,
+    Asn, Country, Prefix, ProbeId, ProbeTag, ProbeVersion, SimDuration, SimTime,
 };
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// k-root built-in measurement cadence: every four minutes (§3.4).
 const KROOT_GRID: i64 = 240;
@@ -66,13 +85,104 @@ pub struct SimOutput {
 }
 
 /// Runs a full-year simulation of the configured world.
+///
+/// The world is partitioned into independent shards (one per connected
+/// component of nets; see the module docs) that run concurrently on the
+/// `dynaddr-exec` executor. The output is byte-identical at any worker
+/// count.
 pub fn simulate(config: &WorldConfig) -> SimOutput {
-    let mut sim = Sim::new(config);
-    sim.run();
-    let mut output = SimOutput { dataset: sim.dataset, truth: sim.truth };
+    simulate_with_shard_cap(config, None)
+}
+
+/// Like [`simulate`], but folds the world's independent components into at
+/// most `cap` shards (`None` keeps one shard per component). The output is
+/// byte-identical for every `cap` and worker count; the knob exists so
+/// tests can pin shard layouts and callers can trade scheduling
+/// granularity against per-shard overhead.
+pub fn simulate_with_shard_cap(config: &WorldConfig, cap: Option<usize>) -> SimOutput {
+    simulate_instrumented(config, cap).0
+}
+
+/// Wall-clock breakdown of one [`simulate`] call, recorded by `perfsnap`.
+#[derive(Debug, Clone, Copy)]
+pub struct SimStats {
+    /// How many shards the world was partitioned into.
+    pub shards: usize,
+    /// Seconds spent building the world and running the sharded event loops.
+    pub event_loop_s: f64,
+    /// Seconds spent generating filler probes.
+    pub filler_s: f64,
+    /// Seconds spent in the final canonical sorts.
+    pub normalize_s: f64,
+}
+
+/// [`simulate_with_shard_cap`] plus per-stage timings.
+pub fn simulate_instrumented(
+    config: &WorldConfig,
+    cap: Option<usize>,
+) -> (SimOutput, SimStats) {
+    let t0 = Instant::now();
+    let mut world = World::build(config);
+    let base_truth = std::mem::take(&mut world.truth);
+    let admin = world.admin.clone();
+    let shards = world.into_shards(cap);
+    let n_shards = shards.len();
+    let mut output = dynaddr_exec::par_fold(
+        shards,
+        empty_output,
+        |acc, mut shard| {
+            shard.run();
+            merge_outputs(acc, SimOutput { dataset: shard.dataset, truth: shard.truth })
+        },
+        merge_outputs,
+    );
+    // Attach the world-level truth no shard owns.
+    output.truth.isp_policies = base_truth.isp_policies;
+    output.truth.firmware_dates = base_truth.firmware_dates;
+    if n_shards == 0 {
+        // No nets, so no shard could replay the admin event; the unsharded
+        // loop would still have popped it and recorded the fact.
+        if let Some((asn, when, _)) = admin {
+            if when < SimTime::YEAR_END {
+                output.truth.admin_renumbering = Some((asn, when));
+            }
+        }
+    }
+    let event_loop_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
     crate::fill::generate_filler(config, &mut output);
+    let filler_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
     output.dataset.normalize();
-    output
+    output.truth.normalize();
+    let normalize_s = t2.elapsed().as_secs_f64();
+    (output, SimStats { shards: n_shards, event_loop_s, filler_s, normalize_s })
+}
+
+fn empty_output() -> SimOutput {
+    SimOutput { dataset: AtlasDataset::default(), truth: GroundTruth::default() }
+}
+
+/// Concatenates two partial outputs, left before right. Associative with
+/// [`empty_output`] as identity — exactly what `par_fold` needs — and order
+/// differences between shard layouts are erased by the canonical
+/// `normalize` sorts afterwards.
+fn merge_outputs(mut a: SimOutput, mut b: SimOutput) -> SimOutput {
+    a.dataset.meta.append(&mut b.dataset.meta);
+    a.dataset.connections.append(&mut b.dataset.connections);
+    a.dataset.kroot.append(&mut b.dataset.kroot);
+    a.dataset.uptime.append(&mut b.dataset.uptime);
+    a.truth.changes.append(&mut b.truth.changes);
+    a.truth.outages.append(&mut b.truth.outages);
+    a.truth.firmware_reboots.append(&mut b.truth.firmware_reboots);
+    a.truth.isp_policies.append(&mut b.truth.isp_policies);
+    a.truth.admin_renumbering = a.truth.admin_renumbering.or(b.truth.admin_renumbering);
+    if a.truth.firmware_dates.is_empty() {
+        a.truth.firmware_dates = std::mem::take(&mut b.truth.firmware_dates);
+    }
+    a
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +231,30 @@ struct ProbeSim {
     rng: ChaCha12Rng,
 }
 
+/// World-level simulation parameters, cloned into every shard.
+#[derive(Clone)]
+struct SimParams {
+    seeds: SeedTree,
+    kroot_heartbeat: i64,
+    frail_reboot_prob: f64,
+    ctrl_drop_rate: f64,
+    firmware_dates: Vec<SimTime>,
+    firmware_uptake: f64,
+}
+
+/// The fully built world before partitioning: every net and probe under
+/// stable global indices, plus the world-level truth no shard owns.
+struct World {
+    nets: Vec<IspNetwork>,
+    net_asn: Vec<Asn>,
+    probes: Vec<ProbeSim>,
+    truth: GroundTruth,
+    admin: Option<(Asn, SimTime, Arc<Vec<Prefix>>)>,
+    params: SimParams,
+}
+
+/// One shard's event loop: a private set of nets and probes, a private
+/// queue, and private output buffers.
 struct Sim {
     nets: Vec<IspNetwork>,
     net_asn: Vec<Asn>,
@@ -129,22 +263,16 @@ struct Sim {
     queue: EventQueue<Ev>,
     dataset: AtlasDataset,
     truth: GroundTruth,
-    world_rng: ChaCha12Rng,
-    kroot_heartbeat: i64,
-    frail_reboot_prob: f64,
-    ctrl_drop_rate: f64,
-    firmware_dates: Vec<SimTime>,
-    firmware_uptake: f64,
-    admin: Option<(Asn, SimTime, Vec<dynaddr_types::Prefix>)>,
+    params: SimParams,
+    admin: Option<(Asn, SimTime, Arc<Vec<Prefix>>)>,
 }
 
-impl Sim {
-    fn new(config: &WorldConfig) -> Sim {
+impl World {
+    fn build(config: &WorldConfig) -> World {
         let seeds = SeedTree::new(config.seed);
         let mut nets = Vec::new();
         let mut net_asn = Vec::new();
         let mut probes: Vec<ProbeSim> = Vec::new();
-        let mut probes_by_asn: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         let mut truth = GroundTruth {
             firmware_dates: config.firmware_dates.clone(),
             ..GroundTruth::default()
@@ -214,7 +342,6 @@ impl Sim {
                     k,
                     None,
                 );
-                probes_by_asn.entry(spec.asn.0).or_default().push(probes.len());
                 probes.push(p);
                 next_probe_id += 1;
             }
@@ -269,27 +396,113 @@ impl Sim {
                     10_000 + m,
                     Some((target_net, switch)),
                 );
-                probes_by_asn.entry(spec.asn.0).or_default().push(probes.len());
                 probes.push(p);
                 next_probe_id += 1;
             }
         }
 
-        Sim {
+        World {
             nets,
             net_asn,
             probes,
-            probes_by_asn,
+            truth,
+            admin: config
+                .admin_renumber
+                .clone()
+                .map(|(asn, when, prefixes)| (asn, when, Arc::new(prefixes))),
+            params: SimParams {
+                seeds,
+                kroot_heartbeat: config.kroot_heartbeat.secs().max(KROOT_GRID),
+                frail_reboot_prob: config.frail_reboot_prob,
+                ctrl_drop_rate: config.controller_drops_per_year / (365.0 * DAY as f64),
+                firmware_dates: config.firmware_dates.clone(),
+                firmware_uptake: config.firmware_uptake,
+            },
+        }
+    }
+
+    /// Partitions the world into independently runnable shards. Nets and
+    /// probes are distributed in ascending global order, so within a shard
+    /// relative order — and with it every event tie-break — matches the
+    /// subsequence an unsharded loop would produce for the same entities.
+    fn into_shards(mut self, cap: Option<usize>) -> Vec<Sim> {
+        let n = self.nets.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut uf = UnionFind::new(n);
+        // All share-nets of one ASN act as a unit: administrative
+        // renumbering rebuilds them together and reconnects the ASN's
+        // probes in one pass.
+        let mut first_net_of_asn: BTreeMap<u32, usize> = BTreeMap::new();
+        for (i, asn) in self.net_asn.iter().enumerate() {
+            match first_net_of_asn.entry(asn.0) {
+                Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+                Entry::Occupied(e) => uf.union(*e.get(), i),
+            }
+        }
+        // Movers are the only cross-ISP edges.
+        for p in &self.probes {
+            if let Some((target, _)) = p.mover_target {
+                uf.union(p.net, target);
+            }
+        }
+        let (comp_of, n_comps) = uf.dense_components();
+        let groups = crate::shard::shard_count(n_comps, cap);
+
+        let mut shards: Vec<Sim> =
+            (0..groups).map(|_| Sim::empty(self.params.clone())).collect();
+        let mut local_net = vec![0usize; n];
+        let mut group_of_net = vec![0usize; n];
+        for (i, net) in self.nets.drain(..).enumerate() {
+            let g = comp_of[i] % groups;
+            group_of_net[i] = g;
+            local_net[i] = shards[g].nets.len();
+            shards[g].nets.push(net);
+            shards[g].net_asn.push(self.net_asn[i]);
+        }
+        for mut p in self.probes.drain(..) {
+            let g = group_of_net[p.net];
+            // Movers stay registered under their origin ASN, as before.
+            let asn = self.net_asn[p.net];
+            if let Some((target, when)) = p.mover_target {
+                p.mover_target = Some((local_net[target], when));
+            }
+            p.net = local_net[p.net];
+            let local_idx = shards[g].probes.len();
+            shards[g].probes_by_asn.entry(asn.0).or_default().push(local_idx);
+            shards[g].probes.push(p);
+        }
+        // The admin event belongs to the shard holding that ASN's nets. An
+        // ASN absent from the world still gets the event recorded in truth
+        // (matching the unsharded semantics), so park it in shard 0.
+        if let Some(admin) = self.admin.take() {
+            let g = self
+                .net_asn
+                .iter()
+                .position(|&a| a == admin.0)
+                .map(|i| group_of_net[i])
+                .unwrap_or(0);
+            shards[g].admin = Some(admin);
+        }
+        shards
+    }
+}
+
+impl Sim {
+    fn empty(params: SimParams) -> Sim {
+        Sim {
+            nets: Vec::new(),
+            net_asn: Vec::new(),
+            probes: Vec::new(),
+            probes_by_asn: BTreeMap::new(),
             queue: EventQueue::with_horizon(SimTime::YEAR_END),
             dataset: AtlasDataset::default(),
-            truth,
-            world_rng: seeds.rng_for("world"),
-            kroot_heartbeat: config.kroot_heartbeat.secs().max(KROOT_GRID),
-            frail_reboot_prob: config.frail_reboot_prob,
-            ctrl_drop_rate: config.controller_drops_per_year / (365.0 * DAY as f64),
-            firmware_dates: config.firmware_dates.clone(),
-            firmware_uptake: config.firmware_uptake,
-            admin: config.admin_renumber.clone(),
+            truth: GroundTruth::default(),
+            params,
+            admin: None,
         }
     }
 
@@ -340,7 +553,7 @@ impl Sim {
         }
         let frail_roll = {
             let probe = &mut self.probes[p];
-            probe.frail && probe.rng.gen::<f64>() < self.frail_reboot_prob
+            probe.frail && probe.rng.gen::<f64>() < self.params.frail_reboot_prob
         };
         if frail_roll {
             // v1/v2 memory-fragmentation reboot triggered by the new TCP
@@ -468,7 +681,7 @@ impl Sim {
 
     fn schedule_ctrl_drop(&mut self, p: usize, from: SimTime) {
         let epoch = self.probes[p].epoch;
-        if let Some(gap) = poisson_gap(&mut self.probes[p].rng, self.ctrl_drop_rate) {
+        if let Some(gap) = poisson_gap(&mut self.probes[p].rng, self.params.ctrl_drop_rate) {
             self.queue.push(from + gap, Ev::CtrlDrop { p, epoch });
         }
     }
@@ -495,10 +708,10 @@ impl Sim {
         }
         // Firmware pushes: each update reaches this probe with probability
         // `firmware_uptake`, staggered over the following 36 hours.
-        for i in 0..self.firmware_dates.len() {
-            let date = self.firmware_dates[i];
+        for i in 0..self.params.firmware_dates.len() {
+            let date = self.params.firmware_dates[i];
             let probe = &mut self.probes[p];
-            if probe.rng.gen::<f64>() < self.firmware_uptake {
+            if probe.rng.gen::<f64>() < self.params.firmware_uptake {
                 let stagger = probe.rng.gen_range(0..(36 * 3_600));
                 self.queue.push(date + SimDuration::from_secs(stagger), Ev::Firmware { p });
             }
@@ -744,13 +957,19 @@ impl Sim {
     }
 
     fn handle_admin(&mut self, asn: Asn, t: SimTime) {
-        let (_, _, new_prefixes) = self.admin.clone().expect("admin event without config");
+        let new_prefixes = self
+            .admin
+            .as_ref()
+            .map(|(_, _, p)| Arc::clone(p))
+            .expect("admin event without config");
         self.truth.admin_renumbering = Some((asn, t));
-        // Rebuild every share-net of this ASN.
-        for (i, net_asn) in self.net_asn.clone().into_iter().enumerate() {
-            if net_asn == asn {
-                let occ = 0.4;
-                self.nets[i].admin_renumber(&mut self.world_rng, new_prefixes.clone(), occ);
+        // Rebuild every share-net of this ASN. The RNG stream is keyed by
+        // ASN — not shared with anything else — so the outcome does not
+        // depend on shard layout or on events elsewhere in the world.
+        let mut admin_rng = self.params.seeds.rng_for_id("admin", u64::from(asn.0));
+        for i in 0..self.nets.len() {
+            if self.net_asn[i] == asn {
+                self.nets[i].admin_renumber(&mut admin_rng, &new_prefixes, 0.4);
             }
         }
         let members = self.probes_by_asn.get(&asn.0).cloned().unwrap_or_default();
@@ -806,7 +1025,7 @@ impl Sim {
     fn emit_heartbeats(&mut self, p: usize) {
         let (id, join, phase) =
             (self.probes[p].id, self.probes[p].join, self.probes[p].kroot_phase);
-        let step = self.kroot_heartbeat;
+        let step = self.params.kroot_heartbeat;
         let mut windows = self.probes[p].windows.clone();
         windows.sort();
         let mut w = 0usize;

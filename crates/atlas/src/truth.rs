@@ -111,6 +111,17 @@ pub struct GroundTruth {
 }
 
 impl GroundTruth {
+    /// Puts the event vectors into canonical order: changes by
+    /// (time, probe), outages by (start, probe), firmware reboots by
+    /// (time, probe). Per-probe events come from one simulation shard in
+    /// deterministic relative order, so after this stable sort the truth is
+    /// byte-identical no matter how shards were grouped or merged.
+    pub fn normalize(&mut self) {
+        self.changes.sort_by_key(|c| (c.time, c.probe));
+        self.outages.sort_by_key(|o| (o.start, o.probe));
+        self.firmware_reboots.sort_by_key(|&(p, t)| (t, p));
+    }
+
     /// Changes recorded for one probe, in time order.
     pub fn changes_of(&self, probe: ProbeId) -> Vec<&TruthChange> {
         let mut v: Vec<&TruthChange> =

@@ -11,7 +11,7 @@
 //! are only meaningful when `max_threads > 1`.
 
 use dynaddr_atlas::world::{paper_route_tables, paper_world};
-use dynaddr_atlas::{simulate, SimOutput};
+use dynaddr_atlas::{simulate, simulate_instrumented, SimOutput};
 use dynaddr_core::filtering::filter_probes;
 use dynaddr_core::geo::continent_distributions;
 use dynaddr_core::periodic::{table5, PeriodicConfig};
@@ -37,6 +37,8 @@ struct Snapshot {
     seed: u64,
     iters: usize,
     max_threads: usize,
+    /// Shards the simulator partitioned the world into (thread-independent).
+    sim_shards: usize,
     stages: Vec<StageTiming>,
 }
 
@@ -70,8 +72,8 @@ fn main() {
     let sim_out = simulate(&world);
     let snaps = paper_route_tables(&world);
 
-    let one = run_all(&world, &sim_out, &snaps, 1, iters);
-    let many = run_all(&world, &sim_out, &snaps, max_threads, iters);
+    let (one, sim_shards) = run_all(&world, &sim_out, &snaps, 1, iters);
+    let (many, _) = run_all(&world, &sim_out, &snaps, max_threads, iters);
     dynaddr_exec::set_threads(None);
 
     let stages = one
@@ -84,26 +86,52 @@ fn main() {
             speedup: if msn > 0.0 { ms1 / msn } else { 0.0 },
         })
         .collect();
-    let snap = Snapshot { scale, seed, iters, max_threads, stages };
+    let snap = Snapshot { scale, seed, iters, max_threads, sim_shards, stages };
     let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write snapshot");
     println!("{json}");
     eprintln!("wrote {}", out.display());
 }
 
-/// Best-of-`iters` wall time in milliseconds for every stage at `threads`.
+/// Best-of-`iters` wall time in milliseconds for every stage at `threads`,
+/// plus the simulator's shard count.
 fn run_all(
     world: &dynaddr_atlas::config::WorldConfig,
     sim_out: &SimOutput,
     snaps: &MonthlySnapshots,
     threads: usize,
     iters: usize,
-) -> Vec<(&'static str, f64)> {
+) -> (Vec<(&'static str, f64)>, usize) {
     dynaddr_exec::set_threads(Some(threads));
     let dataset = &sim_out.dataset;
     let probes = filter_probes(dataset, snaps).probes;
     let cfg = dynaddr_core::pipeline::AnalysisConfig::default();
     let mut results = Vec::new();
+
+    // The simulate stage reports its total plus the instrumented sub-stage
+    // breakdown (event loop vs filler vs normalize), each best-of-iters.
+    let mut sim_shards = 0usize;
+    {
+        let mut best_total = f64::INFINITY;
+        let (mut best_ev, mut best_fill, mut best_norm) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let (out, stats) = simulate_instrumented(world, None);
+            let total = t0.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(out);
+            best_total = best_total.min(total);
+            best_ev = best_ev.min(stats.event_loop_s * 1e3);
+            best_fill = best_fill.min(stats.filler_s * 1e3);
+            best_norm = best_norm.min(stats.normalize_s * 1e3);
+            sim_shards = stats.shards;
+        }
+        results.push(("simulate", best_total));
+        results.push(("sim_event_loop", best_ev));
+        results.push(("sim_filler", best_fill));
+        results.push(("sim_normalize", best_norm));
+    }
+
     let mut time = |stage: &'static str, f: &mut dyn FnMut()| {
         let mut best = f64::INFINITY;
         for _ in 0..iters {
@@ -114,9 +142,6 @@ fn run_all(
         results.push((stage, best));
     };
 
-    time("simulate", &mut || {
-        std::hint::black_box(simulate(world));
-    });
     time("filter_probes", &mut || {
         std::hint::black_box(filter_probes(dataset, snaps));
     });
@@ -135,5 +160,5 @@ fn run_all(
     time("analyze", &mut || {
         std::hint::black_box(analyze(dataset, snaps, &cfg));
     });
-    results
+    (results, sim_shards)
 }

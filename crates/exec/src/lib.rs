@@ -87,6 +87,50 @@ where
     out
 }
 
+/// Chunked parallel reduction: folds `items` into per-chunk accumulators
+/// (each starting from `init()`), then merges the accumulators left to
+/// right in chunk order.
+///
+/// Chunk boundaries depend on the worker count, so the result is identical
+/// at any thread count **iff** `(init, merge)` form a monoid and `fold` is
+/// compatible with it: `merge` associative, `init()` its identity, and
+/// `fold(merge(a, init()), x) == merge(a, fold(init(), x))`. Every
+/// concatenation- or counter-shaped reduction (Vec append, sums, per-key
+/// map merges) satisfies this; a unit test pins the property for those
+/// shapes. With one worker this degrades to a plain sequential fold.
+pub fn par_fold<T, A, I, F, M>(items: Vec<T>, init: I, fold: F, merge: M) -> A
+where
+    T: Send,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let threads = current_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().fold(init(), fold);
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items.into_iter();
+    loop {
+        let chunk: Vec<T> = rest.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let accs: Vec<A> = std::thread::scope(|scope| {
+        let (init, fold) = (&init, &fold);
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().fold(init(), fold)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par_fold worker panicked")).collect()
+    });
+    accs.into_iter().reduce(merge).expect("at least one chunk")
+}
+
 /// Runs a set of heterogeneous tasks, one scoped thread each, returning
 /// their results in task order. With one worker the tasks run sequentially
 /// on the calling thread. Use for a handful of coarse independent jobs
@@ -138,6 +182,73 @@ mod tests {
             .flat_map(|&x| if x % 3 == 0 { vec![] } else { vec![x * 10, x * 10 + 1] })
             .collect();
         assert_eq!(flat, expected);
+        set_threads(None);
+    }
+
+    #[test]
+    fn par_fold_matches_sequential_at_every_thread_count() {
+        let _guard = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..1000).collect();
+        let expected_sum: u64 = items.iter().sum();
+        // Concatenation is the order-sensitive case: any chunk reassembly
+        // mistake shows up as a permuted vector.
+        let expected_cat: Vec<u64> = items.clone();
+        for threads in [1, 2, 3, 4, 7, 64] {
+            set_threads(Some(threads));
+            let sum = par_fold(items.clone(), || 0u64, |a, x| a + x, |a, b| a + b);
+            assert_eq!(sum, expected_sum, "sum at threads={threads}");
+            let cat = par_fold(
+                items.clone(),
+                Vec::new,
+                |mut a, x| {
+                    a.push(x);
+                    a
+                },
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            assert_eq!(cat, expected_cat, "concat at threads={threads}");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn par_fold_merges_per_key_maps_deterministically() {
+        let _guard = LOCK.lock().unwrap();
+        let items: Vec<u32> = (0..500).collect();
+        let count = |items: Vec<u32>| -> std::collections::BTreeMap<u32, usize> {
+            par_fold(
+                items,
+                std::collections::BTreeMap::new,
+                |mut m, x| {
+                    *m.entry(x % 7).or_insert(0) += 1;
+                    m
+                },
+                |mut a, b| {
+                    for (k, v) in b {
+                        *a.entry(k).or_insert(0) += v;
+                    }
+                    a
+                },
+            )
+        };
+        set_threads(Some(1));
+        let seq = count(items.clone());
+        for threads in [2, 5, 64] {
+            set_threads(Some(threads));
+            assert_eq!(count(items.clone()), seq, "threads={threads}");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn par_fold_empty_input_returns_init() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(Some(8));
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(par_fold(empty, || 41, |a, _| a, |a, _| a), 41);
         set_threads(None);
     }
 

@@ -402,7 +402,7 @@ mod tests {
     fn reset_all_survives_pool_migration() {
         let (mut s, mut pool, mut r) = setup(0.0);
         s.acquire(&mut pool, &mut r, ClientId(1), T0);
-        pool.migrate_prefixes(&mut r, vec!["198.18.0.0/19".parse().unwrap()], 0.2);
+        pool.migrate_prefixes(&mut r, &["198.18.0.0/19".parse().unwrap()], 0.2);
         s.reset_all();
         let out = s.acquire(&mut pool, &mut r, ClientId(1), T0 + SimDuration::from_hours(1));
         assert!("198.18.0.0/19".parse::<dynaddr_types::Prefix>().unwrap().contains(out.addr));
@@ -414,7 +414,7 @@ mod tests {
         // without reset_all) must be handled gracefully.
         let (mut s, mut pool, mut r) = setup(0.0);
         s.acquire(&mut pool, &mut r, ClientId(1), T0);
-        pool.migrate_prefixes(&mut r, vec!["198.18.0.0/19".parse().unwrap()], 0.2);
+        pool.migrate_prefixes(&mut r, &["198.18.0.0/19".parse().unwrap()], 0.2);
         let out = s.acquire(&mut pool, &mut r, ClientId(1), T0 + SimDuration::from_days(1));
         assert!(out.changed);
     }

@@ -286,11 +286,11 @@ impl AddressPool {
     pub fn migrate_prefixes<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
-        prefixes: Vec<Prefix>,
+        prefixes: &[Prefix],
         background_occupancy: f64,
     ) {
         let config = PoolConfig {
-            prefixes,
+            prefixes: prefixes.to_vec(),
             policy: self.policy,
             background_occupancy,
         };
@@ -452,7 +452,7 @@ mod tests {
         let mut r = rng();
         let a = pool.allocate(&mut r, ClientId(1), None).unwrap();
         assert!(p("10.0.0.0/24").contains(a));
-        pool.migrate_prefixes(&mut r, vec![p("172.16.0.0/24")], 0.0);
+        pool.migrate_prefixes(&mut r, &[p("172.16.0.0/24")], 0.0);
         assert_eq!(pool.address_of(ClientId(1)), None, "allocations reset");
         let b = pool.allocate(&mut r, ClientId(1), Some(a)).unwrap();
         assert!(p("172.16.0.0/24").contains(b));

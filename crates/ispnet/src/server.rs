@@ -271,7 +271,7 @@ impl IspNetwork {
     pub fn admin_renumber<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
-        new_prefixes: Vec<Prefix>,
+        new_prefixes: &[Prefix],
         background_occupancy: f64,
     ) {
         self.pool.migrate_prefixes(rng, new_prefixes, background_occupancy);
@@ -366,7 +366,7 @@ mod tests {
     fn admin_renumber_moves_all_clients() {
         let (mut isp, mut rng) = dhcp_isp();
         let before = isp.connect(&mut rng, ClientId(1), T0, None);
-        isp.admin_renumber(&mut rng, vec!["198.18.0.0/17".parse().unwrap()], 0.3);
+        isp.admin_renumber(&mut rng, &["198.18.0.0/17".parse().unwrap()], 0.3);
         assert_eq!(isp.next_action(ClientId(1)), None);
         let after = isp.connect(&mut rng, ClientId(1), T0 + SimDuration::from_hours(1), None);
         // `changed` is relative to the server's (reset) memory; the caller

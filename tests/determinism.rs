@@ -2,11 +2,13 @@
 //! byte of the analysis output. The whole pipeline — simulation, filtering,
 //! and every table/figure — runs pinned to 1 thread, to 2 threads, and with
 //! the override cleared (whatever the machine offers), and the serialized
-//! reports are compared byte for byte.
+//! reports are compared byte for byte. The simulator gets its own check:
+//! the full `SimOutput` (dataset and ground truth) must also be invariant
+//! across forced shard layouts, not just worker counts.
 
 use dynaddr::analysis::pipeline::{analyze, AnalysisConfig, AnalysisReport};
 use dynaddr::atlas::world::{paper_route_tables, paper_world};
-use dynaddr::atlas::simulate;
+use dynaddr::atlas::{simulate, simulate_with_shard_cap};
 
 fn report_at(threads: Option<usize>) -> AnalysisReport {
     dynaddr_exec::set_threads(threads);
@@ -36,4 +38,44 @@ fn oversubscribed_executor_is_still_identical() {
     let sequential = serde_json::to_string(&report_at(Some(1))).expect("serializes");
     let many = serde_json::to_string(&report_at(Some(64))).expect("serializes");
     assert_eq!(sequential, many, "64-thread report differs from sequential");
+}
+
+/// Serializes a full `SimOutput` — all four dataset documents plus the
+/// ground truth — produced at the given worker count and forced shard cap.
+fn sim_fingerprint(threads: Option<usize>, cap: Option<usize>, seed: u64) -> String {
+    dynaddr_exec::set_threads(threads);
+    let world = paper_world(0.02, seed);
+    let out = simulate_with_shard_cap(&world, cap);
+    dynaddr_exec::set_threads(None);
+    let docs = out.dataset.to_jsonl();
+    let truth = serde_json::to_string(&out.truth).expect("truth serializes");
+    format!(
+        "{}\n{}\n{}\n{}\n{truth}",
+        docs.meta, docs.connections, docs.kroot, docs.uptime
+    )
+}
+
+#[test]
+fn simulation_is_byte_identical_across_threads_and_shard_layouts() {
+    for seed in [7u64, 23] {
+        let base = sim_fingerprint(Some(1), None, seed);
+        // Worker-count invariance at the natural one-shard-per-component
+        // layout: 2 workers, heavy oversubscription, and the ambient count.
+        for threads in [Some(2), Some(64), None] {
+            assert_eq!(
+                base,
+                sim_fingerprint(threads, None, seed),
+                "threads={threads:?} seed={seed}"
+            );
+        }
+        // Layout invariance: folding all components into one shard, or into
+        // an arbitrary few, must not change a byte either.
+        for cap in [Some(1), Some(3)] {
+            assert_eq!(
+                base,
+                sim_fingerprint(Some(4), cap, seed),
+                "cap={cap:?} seed={seed}"
+            );
+        }
+    }
 }
