@@ -41,7 +41,8 @@ pub use logs::{
     AtlasDataset, ConnectionLogEntry, KrootPingRecord, PeerAddr, ProbeMeta, SosUptimeRecord,
 };
 pub use sim::{
-    simulate, simulate_instrumented, simulate_with_shard_cap, SimOutput, SimStats,
+    simulate, simulate_instrumented, simulate_instrumented_opts, simulate_with_options,
+    simulate_with_shard_cap, QueueTelemetry, SimOptions, SimOutput, SimStats,
 };
 pub use truth::{ChangeCause, GroundTruth, TruthOutage, TruthOutageKind};
 pub use world::{paper_route_tables, paper_world};

@@ -20,8 +20,10 @@
 //!
 //! There is no single global event loop. [`World::build`] instantiates
 //! every net and probe with stable global ids, then [`World::into_shards`]
-//! partitions them into connected components (see [`crate::shard`]): nets
-//! of one ASN form a unit, and mover probes add the only cross-ISP edges.
+//! partitions them into connected components (see [`crate::shard`]): each
+//! share-net is its own unit — share pools are independent, so nets of one
+//! ASN are only coupled (and unified) when an administrative-renumbering
+//! event targets that ASN — and mover probes add the only cross-ISP edges.
 //! Each shard owns its nets, its probes, and its own [`EventQueue`], so
 //! shards run concurrently on the `dynaddr-exec` executor with no shared
 //! mutable state. Every random draw comes from a [`SeedTree`] stream keyed
@@ -100,7 +102,69 @@ pub fn simulate(config: &WorldConfig) -> SimOutput {
 /// tests can pin shard layouts and callers can trade scheduling
 /// granularity against per-shard overhead.
 pub fn simulate_with_shard_cap(config: &WorldConfig, cap: Option<usize>) -> SimOutput {
-    simulate_instrumented(config, cap).0
+    simulate_with_options(config, &SimOptions { shard_cap: cap, ..SimOptions::default() })
+}
+
+/// Like [`simulate`], with the full set of sharding knobs.
+pub fn simulate_with_options(config: &WorldConfig, opts: &SimOptions) -> SimOutput {
+    simulate_instrumented_opts(config, opts).0
+}
+
+/// Knobs controlling how the world is partitioned. Every combination
+/// produces byte-identical output; the options trade scheduling granularity
+/// against per-shard overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOptions {
+    /// Fold the world's components into at most this many shards
+    /// (`None` keeps one shard per component).
+    pub shard_cap: Option<usize>,
+    /// Unify *all* share-nets of each ASN into one component, as the
+    /// simulator did before intra-ISP splitting: share-nets are only
+    /// coupled by administrative renumbering, so by default only the
+    /// admin-targeted ASN (if any) is unified and giant ISPs split into
+    /// per-share components. Setting this restores the coarse layout.
+    pub unify_all_isps: bool,
+}
+
+/// Aggregate event-queue traffic across all shards of one simulation,
+/// merged associatively so `par_fold` can carry it alongside the output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueTelemetry {
+    /// Events pushed, summed over shards.
+    pub pushes: u64,
+    /// Events popped, summed over shards.
+    pub pops: u64,
+    /// Largest pending-event count of any single shard queue.
+    pub max_queue_len: usize,
+    /// Pushes landing in the overflow (past-the-span) region, summed.
+    pub overflow_hits: u64,
+    /// Bucket-width halvings, summed.
+    pub resizes: u64,
+    /// Events popped by the busiest shard — `max_shard_pops` against
+    /// `pops / shards` is the balance ratio.
+    pub max_shard_pops: u64,
+}
+
+impl QueueTelemetry {
+    fn absorb(mut self, q: crate::engine::QueueStats) -> QueueTelemetry {
+        self.pushes += q.pushes;
+        self.pops += q.pops;
+        self.max_queue_len = self.max_queue_len.max(q.max_len);
+        self.overflow_hits += q.overflow_hits;
+        self.resizes += q.resizes;
+        self.max_shard_pops = self.max_shard_pops.max(q.pops);
+        self
+    }
+
+    fn merge(mut self, other: QueueTelemetry) -> QueueTelemetry {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.max_queue_len = self.max_queue_len.max(other.max_queue_len);
+        self.overflow_hits += other.overflow_hits;
+        self.resizes += other.resizes;
+        self.max_shard_pops = self.max_shard_pops.max(other.max_shard_pops);
+        self
+    }
 }
 
 /// Wall-clock breakdown of one [`simulate`] call, recorded by `perfsnap`.
@@ -114,6 +178,20 @@ pub struct SimStats {
     pub filler_s: f64,
     /// Seconds spent in the final canonical sorts.
     pub normalize_s: f64,
+    /// Aggregate queue traffic across shards.
+    pub queue: QueueTelemetry,
+}
+
+impl SimStats {
+    /// Load-balance ratio: events in the busiest shard over the per-shard
+    /// mean. 1.0 is perfect balance; `shards` is one shard doing all work.
+    pub fn shard_balance(&self) -> f64 {
+        if self.shards == 0 || self.queue.pops == 0 {
+            return 1.0;
+        }
+        let mean = self.queue.pops as f64 / self.shards as f64;
+        self.queue.max_shard_pops as f64 / mean
+    }
 }
 
 /// [`simulate_with_shard_cap`] plus per-stage timings.
@@ -121,20 +199,32 @@ pub fn simulate_instrumented(
     config: &WorldConfig,
     cap: Option<usize>,
 ) -> (SimOutput, SimStats) {
+    simulate_instrumented_opts(config, &SimOptions { shard_cap: cap, ..SimOptions::default() })
+}
+
+/// [`simulate_with_options`] plus per-stage timings and queue telemetry.
+pub fn simulate_instrumented_opts(
+    config: &WorldConfig,
+    opts: &SimOptions,
+) -> (SimOutput, SimStats) {
     let t0 = Instant::now();
     let mut world = World::build(config);
     let base_truth = std::mem::take(&mut world.truth);
     let admin = world.admin.clone();
-    let shards = world.into_shards(cap);
+    let shards = world.into_shards(opts);
     let n_shards = shards.len();
-    let mut output = dynaddr_exec::par_fold(
+    let (mut output, queue) = dynaddr_exec::par_fold(
         shards,
-        empty_output,
-        |acc, mut shard| {
+        || (empty_output(), QueueTelemetry::default()),
+        |(acc, tel), mut shard| {
             shard.run();
-            merge_outputs(acc, SimOutput { dataset: shard.dataset, truth: shard.truth })
+            let q = shard.queue.stats();
+            (
+                merge_outputs(acc, SimOutput { dataset: shard.dataset, truth: shard.truth }),
+                tel.absorb(q),
+            )
         },
-        merge_outputs,
+        |(a, ta), (b, tb)| (merge_outputs(a, b), ta.merge(tb)),
     );
     // Attach the world-level truth no shard owns.
     output.truth.isp_policies = base_truth.isp_policies;
@@ -158,7 +248,7 @@ pub fn simulate_instrumented(
     output.dataset.normalize();
     output.truth.normalize();
     let normalize_s = t2.elapsed().as_secs_f64();
-    (output, SimStats { shards: n_shards, event_loop_s, filler_s, normalize_s })
+    (output, SimStats { shards: n_shards, event_loop_s, filler_s, normalize_s, queue })
 }
 
 fn empty_output() -> SimOutput {
@@ -425,22 +515,35 @@ impl World {
     /// probes are distributed in ascending global order, so within a shard
     /// relative order — and with it every event tie-break — matches the
     /// subsequence an unsharded loop would produce for the same entities.
-    fn into_shards(mut self, cap: Option<usize>) -> Vec<Sim> {
+    fn into_shards(mut self, opts: &SimOptions) -> Vec<Sim> {
         let n = self.nets.len();
         if n == 0 {
             return Vec::new();
         }
+        // Share-nets draw from independent pools, so the only coupling
+        // between two nets of one ASN is administrative renumbering, which
+        // rebuilds them together and reconnects the ASN's probes in one
+        // pass. Unify an ASN's nets only when that event will actually
+        // fire for it — every other ISP, however large, splits into
+        // per-share components, which is what keeps giant ASNs from
+        // bounding shard balance. `unify_all_isps` restores the coarse
+        // pre-splitting layout (the determinism tests compare both).
+        let admin_asn = self.admin.as_ref().and_then(|(asn, when, _)| {
+            (*when < SimTime::YEAR_END).then_some(*asn)
+        });
+        let unify = |asn: Asn| opts.unify_all_isps || Some(asn) == admin_asn;
         let mut uf = UnionFind::new(n);
-        // All share-nets of one ASN act as a unit: administrative
-        // renumbering rebuilds them together and reconnects the ASN's
-        // probes in one pass.
         let mut first_net_of_asn: BTreeMap<u32, usize> = BTreeMap::new();
         for (i, asn) in self.net_asn.iter().enumerate() {
             match first_net_of_asn.entry(asn.0) {
                 Entry::Vacant(e) => {
                     e.insert(i);
                 }
-                Entry::Occupied(e) => uf.union(*e.get(), i),
+                Entry::Occupied(e) => {
+                    if unify(*asn) {
+                        uf.union(*e.get(), i);
+                    }
+                }
             }
         }
         // Movers are the only cross-ISP edges.
@@ -450,7 +553,7 @@ impl World {
             }
         }
         let (comp_of, n_comps) = uf.dense_components();
-        let groups = crate::shard::shard_count(n_comps, cap);
+        let groups = crate::shard::shard_count(n_comps, opts.shard_cap);
 
         let mut shards: Vec<Sim> =
             (0..groups).map(|_| Sim::empty(self.params.clone())).collect();
@@ -730,7 +833,9 @@ impl Sim {
         }
         let dur = {
             let probe = &mut self.probes[p];
-            let dist = if power { probe.pw_dur.clone() } else { probe.net_dur.clone() };
+            // Disjoint field borrows: the distribution is read-only while
+            // the RNG advances, so no clone per event.
+            let dist = if power { &probe.pw_dur } else { &probe.net_dur };
             let mut d = dist.sample_duration(&mut probe.rng);
             if power {
                 // A power cycle is never shorter than the reboot time.
@@ -1026,7 +1131,9 @@ impl Sim {
         let (id, join, phase) =
             (self.probes[p].id, self.probes[p].join, self.probes[p].kroot_phase);
         let step = self.params.kroot_heartbeat;
-        let mut windows = self.probes[p].windows.clone();
+        // The windows list is only needed here, at end of run: take it
+        // rather than cloning one Vec per probe.
+        let mut windows = std::mem::take(&mut self.probes[p].windows);
         windows.sort();
         let mut w = 0usize;
         let mut t = SimTime(join.0 - (join.0 - phase).rem_euclid(KROOT_GRID)) + SimDuration::from_secs(step);

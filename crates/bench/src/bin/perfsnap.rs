@@ -32,13 +32,33 @@ struct StageTiming {
 }
 
 #[derive(Serialize)]
+struct QueueSnapshot {
+    /// Events pushed across all shard queues.
+    pushes: u64,
+    /// Events popped across all shard queues.
+    pops: u64,
+    /// Largest pending-event count of any single shard queue.
+    max_queue_len: usize,
+    /// Pushes that landed in the overflow (past-the-span) region.
+    overflow_hits: u64,
+    /// Calendar bucket-width halvings triggered by occupancy skew.
+    resizes: u64,
+    /// Events in the busiest shard over the per-shard mean (1.0 = perfect).
+    shard_balance: f64,
+}
+
+#[derive(Serialize)]
 struct Snapshot {
     scale: f64,
     seed: u64,
     iters: usize,
+    /// Cores the build host offered — the snapshot's thread-max runs used
+    /// all of them, and speedups are only meaningful when this exceeds 1.
     max_threads: usize,
     /// Shards the simulator partitioned the world into (thread-independent).
     sim_shards: usize,
+    /// Event-queue telemetry of one simulation (thread-independent).
+    sim_queue: QueueSnapshot,
     stages: Vec<StageTiming>,
 }
 
@@ -72,8 +92,8 @@ fn main() {
     let sim_out = simulate(&world);
     let snaps = paper_route_tables(&world);
 
-    let (one, sim_shards) = run_all(&world, &sim_out, &snaps, 1, iters);
-    let (many, _) = run_all(&world, &sim_out, &snaps, max_threads, iters);
+    let (one, sim_shards, sim_queue) = run_all(&world, &sim_out, &snaps, 1, iters);
+    let (many, _, _) = run_all(&world, &sim_out, &snaps, max_threads, iters);
     dynaddr_exec::set_threads(None);
 
     let stages = one
@@ -86,7 +106,7 @@ fn main() {
             speedup: if msn > 0.0 { ms1 / msn } else { 0.0 },
         })
         .collect();
-    let snap = Snapshot { scale, seed, iters, max_threads, sim_shards, stages };
+    let snap = Snapshot { scale, seed, iters, max_threads, sim_shards, sim_queue, stages };
     let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write snapshot");
     println!("{json}");
@@ -94,14 +114,14 @@ fn main() {
 }
 
 /// Best-of-`iters` wall time in milliseconds for every stage at `threads`,
-/// plus the simulator's shard count.
+/// plus the simulator's shard count and queue telemetry.
 fn run_all(
     world: &dynaddr_atlas::config::WorldConfig,
     sim_out: &SimOutput,
     snaps: &MonthlySnapshots,
     threads: usize,
     iters: usize,
-) -> (Vec<(&'static str, f64)>, usize) {
+) -> (Vec<(&'static str, f64)>, usize, QueueSnapshot) {
     dynaddr_exec::set_threads(Some(threads));
     let dataset = &sim_out.dataset;
     let probes = filter_probes(dataset, snaps).probes;
@@ -111,6 +131,14 @@ fn run_all(
     // The simulate stage reports its total plus the instrumented sub-stage
     // breakdown (event loop vs filler vs normalize), each best-of-iters.
     let mut sim_shards = 0usize;
+    let mut sim_queue = QueueSnapshot {
+        pushes: 0,
+        pops: 0,
+        max_queue_len: 0,
+        overflow_hits: 0,
+        resizes: 0,
+        shard_balance: 1.0,
+    };
     {
         let mut best_total = f64::INFINITY;
         let (mut best_ev, mut best_fill, mut best_norm) =
@@ -125,6 +153,14 @@ fn run_all(
             best_fill = best_fill.min(stats.filler_s * 1e3);
             best_norm = best_norm.min(stats.normalize_s * 1e3);
             sim_shards = stats.shards;
+            sim_queue = QueueSnapshot {
+                pushes: stats.queue.pushes,
+                pops: stats.queue.pops,
+                max_queue_len: stats.queue.max_queue_len,
+                overflow_hits: stats.queue.overflow_hits,
+                resizes: stats.queue.resizes,
+                shard_balance: stats.shard_balance(),
+            };
         }
         results.push(("simulate", best_total));
         results.push(("sim_event_loop", best_ev));
@@ -160,5 +196,5 @@ fn run_all(
     time("analyze", &mut || {
         std::hint::black_box(analyze(dataset, snaps, &cfg));
     });
-    (results, sim_shards)
+    (results, sim_shards, sim_queue)
 }

@@ -123,34 +123,72 @@ fn max_returns_to_one_address(entries: &[ConnectionLogEntry]) -> usize {
     returns.values().copied().max().unwrap_or(0)
 }
 
+impl FilterCounts {
+    /// Tallies one classification into its funnel bucket.
+    fn record(&mut self, class: ProbeClass) {
+        match class {
+            ProbeClass::Ipv6Only => self.ipv6_only += 1,
+            ProbeClass::DualStack => self.dual_stack += 1,
+            ProbeClass::Tagged => self.tagged += 1,
+            ProbeClass::Multihomed => self.multihomed += 1,
+            ProbeClass::TestingOnly => self.testing_only += 1,
+            ProbeClass::NeverChanged => self.never_changed += 1,
+            ProbeClass::Analyzable => self.analyzable_geo += 1,
+        }
+    }
+
+    /// Adds another partial tally — the `par_fold` merge. Every field is a
+    /// plain sum, so the merge is associative with the default as identity.
+    fn absorb(&mut self, other: &FilterCounts) {
+        self.total += other.total;
+        self.never_changed += other.never_changed;
+        self.dual_stack += other.dual_stack;
+        self.ipv6_only += other.ipv6_only;
+        self.tagged += other.tagged;
+        self.multihomed += other.multihomed;
+        self.testing_only += other.testing_only;
+        self.analyzable_geo += other.analyzable_geo;
+        self.multi_as += other.multi_as;
+        self.analyzable_as += other.analyzable_as;
+    }
+}
+
 /// Runs the Table 2 funnel over a dataset.
 ///
 /// Each probe's classification depends only on its own logs, so the per-probe
-/// work fans out across the executor's workers; the funnel counts are then
-/// folded sequentially in probe order, keeping the report identical at any
-/// worker count.
+/// work fans out across the executor's workers; the funnel counts, class map,
+/// and probe list are then reduced with a `par_fold` whose merge is a plain
+/// monoid — counter sums, disjoint-key map union, chunk-order vector
+/// concatenation — keeping the report identical at any worker count.
 pub fn filter_probes(dataset: &AtlasDataset, snapshots: &MonthlySnapshots) -> FilterReport {
     let classified: Vec<(ProbeClass, Option<AnalyzableProbe>)> =
         dynaddr_exec::par_map(&dataset.meta, |meta| {
             classify(meta, dataset.connections_of(meta.probe), snapshots)
         });
 
-    let mut counts = FilterCounts { total: dataset.meta.len(), ..FilterCounts::default() };
-    let mut classes = BTreeMap::new();
-    let mut probes = Vec::new();
-    for (meta, (class, probe)) in dataset.meta.iter().zip(classified) {
-        match class {
-            ProbeClass::Ipv6Only => counts.ipv6_only += 1,
-            ProbeClass::DualStack => counts.dual_stack += 1,
-            ProbeClass::Tagged => counts.tagged += 1,
-            ProbeClass::Multihomed => counts.multihomed += 1,
-            ProbeClass::TestingOnly => counts.testing_only += 1,
-            ProbeClass::NeverChanged => counts.never_changed += 1,
-            ProbeClass::Analyzable => counts.analyzable_geo += 1,
-        }
-        classes.insert(meta.probe.0, class);
-        probes.extend(probe);
-    }
+    let items: Vec<(u32, ProbeClass, Option<AnalyzableProbe>)> = dataset
+        .meta
+        .iter()
+        .zip(classified)
+        .map(|(meta, (class, probe))| (meta.probe.0, class, probe))
+        .collect();
+    let (mut counts, classes, probes) = dynaddr_exec::par_fold(
+        items,
+        || (FilterCounts::default(), BTreeMap::new(), Vec::new()),
+        |(mut counts, mut classes, mut probes), (id, class, probe)| {
+            counts.record(class);
+            classes.insert(id, class);
+            probes.extend(probe);
+            (counts, classes, probes)
+        },
+        |(mut ca, mut la, mut pa), (cb, lb, mut pb)| {
+            ca.absorb(&cb);
+            la.extend(lb);
+            pa.append(&mut pb);
+            (ca, la, pa)
+        },
+    );
+    counts.total = dataset.meta.len();
     counts.multi_as = probes.iter().filter(|p| p.multi_as).count();
     counts.analyzable_as = counts.analyzable_geo - counts.multi_as;
     FilterReport { counts, classes, probes }
@@ -488,6 +526,41 @@ mod tests {
             ],
         );
         assert_eq!(r.probes[0].primary_asn, Asn(200));
+    }
+
+    #[test]
+    fn funnel_is_identical_at_any_worker_count() {
+        // The Table 2 reduction runs through par_fold: counts, class map,
+        // and probe order must not depend on how the probe list is chunked.
+        let mut m_tag = meta(4);
+        m_tag.tags = vec![ProbeTag::Core];
+        let metas = vec![meta(1), meta(2), meta(3), m_tag, meta(5)];
+        let conns = vec![
+            v4(1, 0, H, "10.0.0.1"),
+            v4(1, 2 * H, 3 * H, "10.0.0.2"),
+            v4(2, 0, H, "10.0.0.9"),
+            v6(3, 0, H),
+            v4(4, 0, H, "10.0.0.5"),
+            v4(5, 0, H, "10.0.0.7"),
+            v4(5, 2 * H, 3 * H, "20.0.0.7"), // cross-AS: multi_as probe
+        ];
+        let shape = |r: &FilterReport| {
+            (
+                r.counts.clone(),
+                r.classes.clone(),
+                r.probes
+                    .iter()
+                    .map(|p| (p.probe().0, p.multi_as, p.primary_asn))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        dynaddr_exec::set_threads(Some(1));
+        let seq = shape(&run(metas.clone(), conns.clone()));
+        for threads in [2, 3, 64] {
+            dynaddr_exec::set_threads(Some(threads));
+            assert_eq!(shape(&run(metas.clone(), conns.clone())), seq, "threads={threads}");
+        }
+        dynaddr_exec::set_threads(None);
     }
 
     #[test]

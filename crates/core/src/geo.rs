@@ -1,22 +1,49 @@
 //! Geographic rollups of address durations (§4.2, Figs. 1 and 3).
+//!
+//! Each rollup is a keyed reduction over independent probes, run through
+//! `dynaddr_exec::par_fold`: per-chunk `BTreeMap` accumulators merged key
+//! by key with [`TtfDistribution::merge`], whose chunk-order concatenation
+//! and left-to-right float totals make the result byte-identical to a
+//! sequential build at any worker count (asserted by a test below).
 
 use crate::filtering::AnalyzableProbe;
 use crate::ttf::{TtfCurve, TtfDistribution};
 use dynaddr_types::{Asn, Continent};
 use std::collections::BTreeMap;
 
+/// Merges per-chunk keyed distributions, left chunk first — the shared
+/// `par_fold` merge of every rollup in this module.
+fn merge_keyed<K: Ord>(
+    mut a: BTreeMap<K, TtfDistribution>,
+    b: BTreeMap<K, TtfDistribution>,
+) -> BTreeMap<K, TtfDistribution> {
+    for (k, d) in b {
+        match a.entry(k) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(d);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(d),
+        }
+    }
+    a
+}
+
 /// Total-time-fraction curve per continent — Fig. 1.
 ///
 /// Multi-AS probes contribute their within-AS durations (the geographic
 /// analysis keeps them, §3.3).
 pub fn continent_distributions(probes: &[AnalyzableProbe]) -> Vec<(Continent, TtfCurve)> {
-    let mut map: BTreeMap<Continent, TtfDistribution> = BTreeMap::new();
-    for p in probes {
-        let Some(continent) = p.meta.country.continent() else { continue };
-        map.entry(continent)
-            .or_default()
-            .extend(p.same_as_durations());
-    }
+    let map: BTreeMap<Continent, TtfDistribution> = dynaddr_exec::par_fold(
+        probes.iter().collect(),
+        BTreeMap::new,
+        |mut map: BTreeMap<Continent, TtfDistribution>, p: &AnalyzableProbe| {
+            if let Some(continent) = p.meta.country.continent() {
+                map.entry(continent).or_default().extend(p.same_as_durations());
+            }
+            map
+        },
+        merge_keyed,
+    );
     let mut out: Vec<(Continent, TtfCurve)> =
         map.into_iter().map(|(c, d)| (c, d.finalize())).collect();
     // Paper legend order: by total time, descending.
@@ -37,15 +64,17 @@ pub fn country_as_distributions(
     country_code: &str,
     min_years: f64,
 ) -> Vec<(Asn, TtfCurve)> {
-    let mut map: BTreeMap<u32, TtfDistribution> = BTreeMap::new();
-    for p in probes {
-        if p.multi_as || p.meta.country.code() != country_code {
-            continue;
-        }
-        map.entry(p.primary_asn.0)
-            .or_default()
-            .extend(p.same_as_durations());
-    }
+    let map: BTreeMap<u32, TtfDistribution> = dynaddr_exec::par_fold(
+        probes.iter().collect(),
+        BTreeMap::new,
+        |mut map: BTreeMap<u32, TtfDistribution>, p: &AnalyzableProbe| {
+            if !p.multi_as && p.meta.country.code() == country_code {
+                map.entry(p.primary_asn.0).or_default().extend(p.same_as_durations());
+            }
+            map
+        },
+        merge_keyed,
+    );
     let mut out: Vec<(Asn, TtfCurve)> = map
         .into_iter()
         .filter(|(_, d)| d.total_years() >= min_years)
@@ -65,19 +94,31 @@ pub fn as_distributions(
     probes: &[AnalyzableProbe],
     top_n: usize,
 ) -> Vec<(Asn, TtfCurve, usize)> {
-    let mut durations: BTreeMap<u32, TtfDistribution> = BTreeMap::new();
-    let mut probe_counts: BTreeMap<u32, usize> = BTreeMap::new();
-    for p in probes {
-        if p.multi_as {
-            continue;
-        }
-        let ds = p.same_as_durations();
-        if ds.is_empty() {
-            continue;
-        }
-        *probe_counts.entry(p.primary_asn.0).or_insert(0) += 1;
-        durations.entry(p.primary_asn.0).or_default().extend(ds);
-    }
+    let (mut durations, probe_counts) = dynaddr_exec::par_fold(
+        probes.iter().collect(),
+        || (BTreeMap::new(), BTreeMap::new()),
+        |(mut durations, mut probe_counts): (
+            BTreeMap<u32, TtfDistribution>,
+            BTreeMap<u32, usize>,
+        ),
+         p: &AnalyzableProbe| {
+            if !p.multi_as {
+                let ds = p.same_as_durations();
+                if !ds.is_empty() {
+                    *probe_counts.entry(p.primary_asn.0).or_insert(0) += 1;
+                    durations.entry(p.primary_asn.0).or_default().extend(ds);
+                }
+            }
+            (durations, probe_counts)
+        },
+        |(da, ca), (db, cb)| {
+            let mut ca = ca;
+            for (k, v) in cb {
+                *ca.entry(k).or_insert(0) += v;
+            }
+            (merge_keyed(da, db), ca)
+        },
+    );
     let mut order: Vec<(u32, usize)> = probe_counts.into_iter().collect();
     order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     order
@@ -156,6 +197,29 @@ mod tests {
         assert!(country_as_distributions(&probes, "DE", 50.0).is_empty());
         // Wrong country: empty.
         assert!(country_as_distributions(&probes, "FR", 0.0).is_empty());
+    }
+
+    #[test]
+    fn rollups_are_identical_at_any_worker_count() {
+        // The keyed par_fold reductions must be order-independent in
+        // effect: byte-identical curves (float totals included) no matter
+        // how the probe list is chunked.
+        let probes = probes();
+        dynaddr_exec::set_threads(Some(1));
+        let continents = continent_distributions(&probes);
+        let by_country = country_as_distributions(&probes, "DE", 0.0);
+        let top = as_distributions(&probes, 5);
+        for threads in [2, 3, 64] {
+            dynaddr_exec::set_threads(Some(threads));
+            assert_eq!(continent_distributions(&probes), continents, "threads={threads}");
+            assert_eq!(
+                country_as_distributions(&probes, "DE", 0.0),
+                by_country,
+                "threads={threads}"
+            );
+            assert_eq!(as_distributions(&probes, 5), top, "threads={threads}");
+        }
+        dynaddr_exec::set_threads(None);
     }
 
     #[test]

@@ -32,6 +32,21 @@ impl WeightedCdf {
         self.push(value, 1.0);
     }
 
+    /// Appends all of `other`'s points after this distribution's own.
+    ///
+    /// Built for `par_fold` merges, which must be byte-deterministic: the
+    /// points concatenate in chunk order (so a later stable sort sees the
+    /// same tie order as a sequential build), and the total weight is
+    /// **recomputed** as one left-to-right sum over the concatenation —
+    /// float addition is not associative, so summing partial chunk totals
+    /// would drift from what sequential `push` accumulation produces.
+    pub fn merge(&mut self, mut other: WeightedCdf) {
+        self.points.append(&mut other.points);
+        // `+ 0.0` normalizes the `-0.0` an empty f64 sum produces.
+        self.total_weight = self.points.iter().map(|(_, w)| w).sum::<f64>() + 0.0;
+        self.sorted = false;
+    }
+
     fn ensure_sorted(&mut self) {
         if !self.sorted {
             self.points

@@ -140,6 +140,16 @@ impl TtfDistribution {
         }
     }
 
+    /// Absorbs another distribution built from a later chunk of the same
+    /// probe sequence. Deterministic under `par_fold`: points concatenate
+    /// in chunk order and the float total is recomputed left to right (see
+    /// [`WeightedCdf::merge`]), so the result is byte-identical to a
+    /// sequential build at any worker count.
+    pub fn merge(&mut self, other: TtfDistribution) {
+        self.cdf.merge(other.cdf);
+        self.total_secs += other.total_secs;
+    }
+
     /// Number of durations.
     pub fn count(&self) -> usize {
         self.cdf.len()

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# CI gate: release build, full workspace tests, and a perfsnap smoke run.
+#
+# The smoke run times the pipeline at a tiny scale (0.01) just to prove the
+# bench binary exits 0 and writes valid JSON — it is NOT a benchmark and its
+# numbers are meaningless; refresh BENCH_pipeline.json with the default
+# scale on quiet hardware instead.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> perfsnap smoke (scale 0.01)"
+SNAP="$(mktemp /tmp/perfsnap-smoke.XXXXXX.json)"
+trap 'rm -f "$SNAP"' EXIT
+cargo run --release -q -p dynaddr-bench --bin perfsnap -- \
+    --scale 0.01 --iters 1 --out "$SNAP"
+
+python3 -m json.tool "$SNAP" > /dev/null
+grep -q '"sim_queue"' "$SNAP"
+grep -q '"sim_event_loop"' "$SNAP"
+
+echo "==> ci OK"

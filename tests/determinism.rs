@@ -7,8 +7,9 @@
 //! across forced shard layouts, not just worker counts.
 
 use dynaddr::analysis::pipeline::{analyze, AnalysisConfig, AnalysisReport};
+use dynaddr::atlas::engine::set_bucket_width;
 use dynaddr::atlas::world::{paper_route_tables, paper_world};
-use dynaddr::atlas::{simulate, simulate_with_shard_cap};
+use dynaddr::atlas::{simulate, simulate_with_options, SimOptions};
 
 fn report_at(threads: Option<usize>) -> AnalysisReport {
     dynaddr_exec::set_threads(threads);
@@ -41,11 +42,11 @@ fn oversubscribed_executor_is_still_identical() {
 }
 
 /// Serializes a full `SimOutput` — all four dataset documents plus the
-/// ground truth — produced at the given worker count and forced shard cap.
-fn sim_fingerprint(threads: Option<usize>, cap: Option<usize>, seed: u64) -> String {
+/// ground truth — produced at the given worker count and sharding options.
+fn sim_fingerprint_opts(threads: Option<usize>, opts: &SimOptions, seed: u64) -> String {
     dynaddr_exec::set_threads(threads);
     let world = paper_world(0.02, seed);
-    let out = simulate_with_shard_cap(&world, cap);
+    let out = simulate_with_options(&world, opts);
     dynaddr_exec::set_threads(None);
     let docs = out.dataset.to_jsonl();
     let truth = serde_json::to_string(&out.truth).expect("truth serializes");
@@ -53,6 +54,11 @@ fn sim_fingerprint(threads: Option<usize>, cap: Option<usize>, seed: u64) -> Str
         "{}\n{}\n{}\n{}\n{truth}",
         docs.meta, docs.connections, docs.kroot, docs.uptime
     )
+}
+
+/// [`sim_fingerprint_opts`] with only a forced shard cap.
+fn sim_fingerprint(threads: Option<usize>, cap: Option<usize>, seed: u64) -> String {
+    sim_fingerprint_opts(threads, &SimOptions { shard_cap: cap, ..SimOptions::default() }, seed)
 }
 
 #[test]
@@ -75,6 +81,33 @@ fn simulation_is_byte_identical_across_threads_and_shard_layouts() {
                 base,
                 sim_fingerprint(Some(4), cap, seed),
                 "cap={cap:?} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_is_byte_identical_across_bucket_widths_and_splitting() {
+    for seed in [7u64, 23] {
+        // Default calendar layout, intra-ISP splitting on (the default).
+        let base = sim_fingerprint(Some(1), None, seed);
+        // Forced non-default bucket widths: hour-wide, week-wide, and a
+        // width that divides nothing evenly. The calendar layout must
+        // never leak into the output.
+        for width in [3_600i64, 7 * 86_400, 100_000] {
+            set_bucket_width(Some(width));
+            let got = sim_fingerprint(Some(2), None, seed);
+            set_bucket_width(None);
+            assert_eq!(base, got, "width={width} seed={seed}");
+        }
+        // The coarse pre-splitting layout (all share-nets of an ASN
+        // unified) must produce the same bytes, with and without a cap.
+        for cap in [None, Some(2)] {
+            let coarse = SimOptions { shard_cap: cap, unify_all_isps: true };
+            assert_eq!(
+                base,
+                sim_fingerprint_opts(Some(4), &coarse, seed),
+                "unify_all cap={cap:?} seed={seed}"
             );
         }
     }
