@@ -33,12 +33,14 @@ pub mod fill;
 pub mod logs;
 mod shard;
 pub mod sim;
+pub mod store;
 pub mod truth;
 pub mod world;
 
 pub use config::{FillerSpec, IspSpec, OutageSpec, WorldConfig};
 pub use logs::{
-    AtlasDataset, ConnectionLogEntry, KrootPingRecord, PeerAddr, ProbeMeta, SosUptimeRecord,
+    AtlasDataset, ConnectionLogEntry, KrootPingRecord, LoadError, PeerAddr, ProbeMeta,
+    SosUptimeRecord, StoreFormat,
 };
 pub use sim::{
     simulate, simulate_instrumented, simulate_instrumented_opts, simulate_with_options,

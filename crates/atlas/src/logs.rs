@@ -9,15 +9,23 @@
 //! * **SOS-uptime dataset** (§3.5) — the probe's uptime counter, reported on
 //!   every new TCP connection; a counter reset reveals a reboot.
 //!
-//! Records serialize as JSON lines (one record per line), mirroring how the
-//! paper's authors scraped per-probe logs from the RIPE Atlas API. Readers
-//! tolerate blank lines and reject malformed ones with line numbers.
+//! Records have two on-disk representations, selected by [`StoreFormat`]:
+//! the default segmented columnar binary (`dataset.store`, see
+//! [`crate::store`]) with per-segment checksums and a parallel decoder, and
+//! the legacy JSON-lines interchange (one record per line, four `.jsonl`
+//! files), mirroring how the paper's authors scraped per-probe logs from
+//! the RIPE Atlas API. [`AtlasDataset::load_dir`] sniffs the store magic
+//! bytes and falls back to JSONL, so either layout loads transparently;
+//! JSONL readers tolerate blank lines and reject malformed ones with line
+//! numbers.
 
+use dynaddr_store::{ReadMode, RecoveryReport, StoreError, MAGIC};
 use dynaddr_types::{Country, ProbeId, ProbeTag, ProbeVersion, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
+use std::path::{Path, PathBuf};
 
 /// The RIPE NCC testing address probes use before being shipped (§3.3).
 pub fn testing_address() -> Ipv4Addr {
@@ -333,27 +341,253 @@ impl AtlasDataset {
         Ok(ds)
     }
 
-    /// Writes the dataset to a directory as four `.jsonl` files.
-    pub fn save_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+    /// Encodes the dataset as one segmented columnar store file
+    /// (see [`crate::store`]).
+    pub fn to_store_bytes(&self) -> Vec<u8> {
+        crate::store::dataset_to_bytes(self)
+    }
+
+    /// Decodes a dataset from store bytes, failing on the first corrupt
+    /// segment. The result is normalized, like [`AtlasDataset::from_jsonl`].
+    pub fn from_store_bytes(bytes: &[u8]) -> Result<AtlasDataset, StoreError> {
+        crate::store::dataset_from_bytes(bytes, ReadMode::Strict).map(|(ds, _)| ds)
+    }
+
+    /// Decodes a dataset from store bytes, skipping corrupt segments and
+    /// reporting what was dropped.
+    pub fn from_store_bytes_recover(
+        bytes: &[u8],
+    ) -> Result<(AtlasDataset, RecoveryReport), StoreError> {
+        crate::store::dataset_from_bytes(bytes, ReadMode::Recover)
+    }
+
+    /// Writes the dataset to a directory in the default format
+    /// ([`StoreFormat::Store`], a single `dataset.store` file).
+    pub fn save_dir(&self, dir: &Path) -> std::io::Result<()> {
+        self.save_dir_format(dir, StoreFormat::default())
+    }
+
+    /// Writes the dataset to a directory in the given format, removing any
+    /// stale files of the other format so the directory never holds two
+    /// diverging copies.
+    pub fn save_dir_format(&self, dir: &Path, format: StoreFormat) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let docs = self.to_jsonl();
-        std::fs::write(dir.join("meta.jsonl"), docs.meta)?;
-        std::fs::write(dir.join("connections.jsonl"), docs.connections)?;
-        std::fs::write(dir.join("kroot.jsonl"), docs.kroot)?;
-        std::fs::write(dir.join("uptime.jsonl"), docs.uptime)?;
+        match format {
+            StoreFormat::Store => {
+                std::fs::write(dir.join("dataset.store"), self.to_store_bytes())?;
+                for name in ["meta.jsonl", "connections.jsonl", "kroot.jsonl", "uptime.jsonl"] {
+                    remove_if_present(&dir.join(name))?;
+                }
+            }
+            StoreFormat::Jsonl => {
+                let docs = self.to_jsonl();
+                std::fs::write(dir.join("meta.jsonl"), docs.meta)?;
+                std::fs::write(dir.join("connections.jsonl"), docs.connections)?;
+                std::fs::write(dir.join("kroot.jsonl"), docs.kroot)?;
+                std::fs::write(dir.join("uptime.jsonl"), docs.uptime)?;
+                remove_if_present(&dir.join("dataset.store"))?;
+            }
+        }
         Ok(())
     }
 
-    /// Loads a dataset previously written by [`AtlasDataset::save_dir`].
-    pub fn load_dir(dir: &std::path::Path) -> std::io::Result<AtlasDataset> {
-        let docs = DatasetJsonl {
-            meta: std::fs::read_to_string(dir.join("meta.jsonl"))?,
-            connections: std::fs::read_to_string(dir.join("connections.jsonl"))?,
-            kroot: std::fs::read_to_string(dir.join("kroot.jsonl"))?,
-            uptime: std::fs::read_to_string(dir.join("uptime.jsonl"))?,
-        };
-        AtlasDataset::from_jsonl(&docs)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    /// Loads a dataset previously written by [`AtlasDataset::save_dir`],
+    /// auto-detecting the format: a `dataset.store` file that starts with
+    /// the store magic bytes wins, otherwise the legacy `.jsonl` files are
+    /// read. Errors name the offending file (and segment, for store files).
+    pub fn load_dir(dir: &Path) -> Result<AtlasDataset, LoadError> {
+        match Self::sniff_format(dir) {
+            StoreFormat::Store => Self::load_dir_as(dir, StoreFormat::Store),
+            StoreFormat::Jsonl => Self::load_dir_as(dir, StoreFormat::Jsonl),
+        }
+    }
+
+    /// Like [`AtlasDataset::load_dir`], but a corrupt store segment is
+    /// skipped instead of fatal; the report says what was dropped. JSONL
+    /// directories load as-is with a clean report.
+    pub fn load_dir_recover(dir: &Path) -> Result<(AtlasDataset, RecoveryReport), LoadError> {
+        match Self::sniff_format(dir) {
+            StoreFormat::Store => {
+                let path = dir.join("dataset.store");
+                let bytes = read_file(&path)?;
+                AtlasDataset::from_store_bytes_recover(&bytes)
+                    .map_err(|source| LoadError::Store { path, source })
+            }
+            StoreFormat::Jsonl => {
+                Self::load_dir_as(dir, StoreFormat::Jsonl).map(|ds| (ds, RecoveryReport::default()))
+            }
+        }
+    }
+
+    /// Loads a dataset from a directory in one explicit format, with no
+    /// sniffing — pass [`StoreFormat::Jsonl`] to insist on the legacy files
+    /// even when a `dataset.store` is present.
+    pub fn load_dir_as(dir: &Path, format: StoreFormat) -> Result<AtlasDataset, LoadError> {
+        match format {
+            StoreFormat::Store => {
+                let path = dir.join("dataset.store");
+                let bytes = read_file(&path)?;
+                AtlasDataset::from_store_bytes(&bytes)
+                    .map_err(|source| LoadError::Store { path, source })
+            }
+            StoreFormat::Jsonl => {
+                let docs = DatasetJsonl {
+                    meta: read_text(&dir.join("meta.jsonl"))?,
+                    connections: read_text(&dir.join("connections.jsonl"))?,
+                    kroot: read_text(&dir.join("kroot.jsonl"))?,
+                    uptime: read_text(&dir.join("uptime.jsonl"))?,
+                };
+                // Parse document by document so a malformed line is
+                // attributed to its file, not just a line number.
+                let mut ds = AtlasDataset {
+                    meta: parse_doc(dir, "meta.jsonl", &docs.meta)?,
+                    connections: parse_doc(dir, "connections.jsonl", &docs.connections)?,
+                    kroot: parse_doc(dir, "kroot.jsonl", &docs.kroot)?,
+                    uptime: parse_doc(dir, "uptime.jsonl", &docs.uptime)?,
+                    index: ProbeIndex::default(),
+                };
+                ds.normalize();
+                Ok(ds)
+            }
+        }
+    }
+
+    /// Which format [`AtlasDataset::load_dir`] would read from `dir`: store
+    /// when `dataset.store` exists and begins with the store magic bytes,
+    /// JSONL otherwise. A `dataset.store` with damaged magic falls back to
+    /// the legacy `.jsonl` files when those exist, but sniffs as store when
+    /// they don't — so the corruption surfaces as a typed error instead of
+    /// a misleading "meta.jsonl not found".
+    pub fn sniff_format(dir: &Path) -> StoreFormat {
+        let mut head = [0u8; MAGIC.len()];
+        match std::fs::File::open(dir.join("dataset.store")) {
+            Ok(mut f) => {
+                use std::io::Read as _;
+                let magic_ok = f.read_exact(&mut head).is_ok() && head == MAGIC;
+                if magic_ok || !dir.join("meta.jsonl").exists() {
+                    StoreFormat::Store
+                } else {
+                    StoreFormat::Jsonl
+                }
+            }
+            Err(_) => StoreFormat::Jsonl,
+        }
+    }
+}
+
+/// On-disk representation of a dataset directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreFormat {
+    /// Segmented columnar binary: one checksummed `dataset.store` file.
+    /// The default since it decodes in parallel and is far smaller.
+    #[default]
+    Store,
+    /// Legacy JSON-lines interchange: four `.jsonl` files.
+    Jsonl,
+}
+
+impl StoreFormat {
+    /// Parses a `--format` flag value (`store` or `jsonl`).
+    pub fn parse(s: &str) -> Option<StoreFormat> {
+        match s {
+            "store" => Some(StoreFormat::Store),
+            "jsonl" => Some(StoreFormat::Jsonl),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StoreFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StoreFormat::Store => "store",
+            StoreFormat::Jsonl => "jsonl",
+        })
+    }
+}
+
+/// Error from loading a dataset directory, naming the file that failed.
+#[derive(Debug)]
+pub enum LoadError {
+    /// A file could not be read.
+    Io {
+        /// The file that failed.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A JSON-lines document failed to parse.
+    Jsonl {
+        /// The file that failed.
+        path: PathBuf,
+        /// The parse error (with its line number).
+        source: JsonlError,
+    },
+    /// A store file failed to decode.
+    Store {
+        /// The file that failed.
+        path: PathBuf,
+        /// The store error (naming the corrupt segment, if any).
+        source: StoreError,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            LoadError::Jsonl { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            LoadError::Store { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io { source, .. } => Some(source),
+            LoadError::Jsonl { source, .. } => Some(source),
+            LoadError::Store { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<LoadError> for std::io::Error {
+    fn from(e: LoadError) -> std::io::Error {
+        match e {
+            LoadError::Io { source, .. } => source,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+fn parse_doc<T: for<'de> Deserialize<'de> + Send>(
+    dir: &Path,
+    name: &str,
+    doc: &str,
+) -> Result<Vec<T>, LoadError> {
+    from_jsonl(doc).map_err(|source| LoadError::Jsonl { path: dir.join(name), source })
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, LoadError> {
+    std::fs::read(path).map_err(|source| LoadError::Io { path: path.to_path_buf(), source })
+}
+
+fn read_text(path: &Path) -> Result<String, LoadError> {
+    std::fs::read_to_string(path)
+        .map_err(|source| LoadError::Io { path: path.to_path_buf(), source })
+}
+
+fn remove_if_present(path: &Path) -> std::io::Result<()> {
+    match std::fs::remove_file(path) {
+        Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+        _ => Ok(()),
     }
 }
 

@@ -122,6 +122,27 @@ impl GroundTruth {
         self.firmware_reboots.sort_by_key(|&(p, t)| (t, p));
     }
 
+    /// Encodes the truth as one segmented columnar store file
+    /// (see [`crate::store`]).
+    pub fn to_store_bytes(&self) -> Vec<u8> {
+        crate::store::truth_to_bytes(self)
+    }
+
+    /// Decodes a truth from store bytes, failing on the first corrupt
+    /// segment.
+    pub fn from_store_bytes(bytes: &[u8]) -> Result<GroundTruth, dynaddr_store::StoreError> {
+        crate::store::truth_from_bytes(bytes, dynaddr_store::ReadMode::Strict)
+            .map(|(truth, _)| truth)
+    }
+
+    /// Decodes a truth from store bytes, skipping corrupt segments and
+    /// reporting what was dropped.
+    pub fn from_store_bytes_recover(
+        bytes: &[u8],
+    ) -> Result<(GroundTruth, dynaddr_store::RecoveryReport), dynaddr_store::StoreError> {
+        crate::store::truth_from_bytes(bytes, dynaddr_store::ReadMode::Recover)
+    }
+
     /// Changes recorded for one probe, in time order.
     pub fn changes_of(&self, probe: ProbeId) -> Vec<&TruthChange> {
         let mut v: Vec<&TruthChange> =

@@ -2,48 +2,75 @@
 //!
 //! Usage:
 //!   analyze --data DIR [--report FILE] [--json FILE] [--threads N]
+//!           [--format store|jsonl] [--recover]
 //!
-//! DIR must contain the four `.jsonl` log files and an `ip2as/` snapshot
-//! directory (the layout the `simulate` binary writes; real scraped data in
-//! the same schemas works identically). Prints the full text report to
-//! stdout; `--report` also writes it to a file, `--json` dumps the
-//! structured `AnalysisReport`.
+//! DIR must contain the dataset (a `dataset.store` file or the legacy four
+//! `.jsonl` log files — auto-detected by magic bytes, or forced with
+//! `--format`) and an `ip2as/` snapshot directory (the layout the
+//! `simulate` binary writes; real scraped data in the same schemas works
+//! identically). `--recover` loads a damaged store file by skipping corrupt
+//! segments instead of aborting, reporting what was dropped on stderr.
+//! Prints the full text report to stdout; `--report` also writes it to a
+//! file, `--json` dumps the structured `AnalysisReport`.
 
-use dynaddr_atlas::logs::AtlasDataset;
+use dynaddr_atlas::logs::{AtlasDataset, StoreFormat};
 use dynaddr_core::pipeline::{analyze, AnalysisConfig};
 use dynaddr_core::report::render_full;
 use dynaddr_ip2as::MonthlySnapshots;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
+const USAGE: &str = "usage: analyze --data DIR [--report FILE] [--json FILE] [--threads N] \
+                     [--format store|jsonl] [--recover]";
+
 fn main() {
     let mut data: Option<PathBuf> = None;
     let mut report_file: Option<PathBuf> = None;
     let mut json_file: Option<PathBuf> = None;
+    let mut format: Option<StoreFormat> = None;
+    let mut recover = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--data" => data = Some(PathBuf::from(args.next().expect("--data dir"))),
             "--report" => report_file = Some(PathBuf::from(args.next().expect("--report file"))),
             "--json" => json_file = Some(PathBuf::from(args.next().expect("--json file"))),
+            "--format" => {
+                let v = args.next().expect("--format value");
+                format = Some(StoreFormat::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown format {v:?} (want store or jsonl)");
+                    std::process::exit(2);
+                }));
+            }
+            "--recover" => recover = true,
             // Overrides the DYNADDR_THREADS environment variable.
             "--threads" => dynaddr_exec::set_threads(Some(
                 args.next().expect("--threads value").parse().expect("numeric"),
             )),
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: analyze --data DIR [--report FILE] [--json FILE] [--threads N]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
     }
     let Some(dir) = data else {
-        eprintln!("usage: analyze --data DIR [--report FILE] [--json FILE] [--threads N]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
 
     eprintln!("loading dataset from {}...", dir.display());
-    let dataset = AtlasDataset::load_dir(&dir).unwrap_or_else(|e| {
+    let load_result = match (format, recover) {
+        (Some(f), false) => AtlasDataset::load_dir_as(&dir, f),
+        (None, false) => AtlasDataset::load_dir(&dir),
+        (_, true) => AtlasDataset::load_dir_recover(&dir).map(|(ds, report)| {
+            if !report.is_clean() {
+                eprintln!("recover: {report}");
+            }
+            ds
+        }),
+    };
+    let dataset = load_result.unwrap_or_else(|e| {
         eprintln!("failed to load dataset: {e}");
         std::process::exit(1);
     });
@@ -53,8 +80,14 @@ fn main() {
     });
     let mut cfg = AnalysisConfig::default();
     if let Ok(names) = std::fs::read_to_string(dir.join("names.json")) {
-        if let Ok(parsed) = serde_json::from_str::<BTreeMap<u32, String>>(&names) {
-            cfg.as_names = parsed;
+        match serde_json::from_str::<BTreeMap<u32, String>>(&names) {
+            Ok(parsed) => cfg.as_names = parsed,
+            // A missing names file is normal; a present-but-broken one
+            // deserves a warning instead of silently unnamed ASNs.
+            Err(e) => eprintln!(
+                "warning: ignoring unparseable {}: {e}",
+                dir.join("names.json").display()
+            ),
         }
     }
 

@@ -48,6 +48,16 @@ struct QueueSnapshot {
 }
 
 #[derive(Serialize)]
+struct DiskSizes {
+    /// Dataset serialized as the four legacy JSONL documents.
+    jsonl_bytes: usize,
+    /// The same dataset as one columnar `dataset.store` file.
+    store_bytes: usize,
+    /// store_bytes / jsonl_bytes (lower is better).
+    store_over_jsonl: f64,
+}
+
+#[derive(Serialize)]
 struct Snapshot {
     scale: f64,
     seed: u64,
@@ -59,6 +69,8 @@ struct Snapshot {
     sim_shards: usize,
     /// Event-queue telemetry of one simulation (thread-independent).
     sim_queue: QueueSnapshot,
+    /// On-disk size of the dataset in each format (thread-independent).
+    dataset_bytes: DiskSizes,
     stages: Vec<StageTiming>,
 }
 
@@ -96,6 +108,22 @@ fn main() {
     let (many, _, _) = run_all(&world, &sim_out, &snaps, max_threads, iters);
     dynaddr_exec::set_threads(None);
 
+    let jsonl = sim_out.dataset.to_jsonl();
+    let jsonl_bytes = jsonl.meta.len()
+        + jsonl.connections.len()
+        + jsonl.kroot.len()
+        + jsonl.uptime.len();
+    let store_bytes = sim_out.dataset.to_store_bytes().len();
+    let dataset_bytes = DiskSizes {
+        jsonl_bytes,
+        store_bytes,
+        store_over_jsonl: if jsonl_bytes > 0 {
+            store_bytes as f64 / jsonl_bytes as f64
+        } else {
+            0.0
+        },
+    };
+
     let stages = one
         .into_iter()
         .zip(many)
@@ -106,7 +134,8 @@ fn main() {
             speedup: if msn > 0.0 { ms1 / msn } else { 0.0 },
         })
         .collect();
-    let snap = Snapshot { scale, seed, iters, max_threads, sim_shards, sim_queue, stages };
+    let snap =
+        Snapshot { scale, seed, iters, max_threads, sim_shards, sim_queue, dataset_bytes, stages };
     let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write snapshot");
     println!("{json}");
@@ -195,6 +224,28 @@ fn run_all(
     });
     time("analyze", &mut || {
         std::hint::black_box(analyze(dataset, snaps, &cfg));
+    });
+
+    // Serialization stages: the legacy JSONL path against the columnar
+    // store. Both decode stages include normalize() — each is the full
+    // bytes-to-usable-dataset cost.
+    let jsonl = dataset.to_jsonl();
+    let store = dataset.to_store_bytes();
+    time("jsonl_encode", &mut || {
+        std::hint::black_box(dataset.to_jsonl());
+    });
+    time("jsonl_parse", &mut || {
+        std::hint::black_box(
+            dynaddr_atlas::AtlasDataset::from_jsonl(&jsonl).expect("jsonl round-trips"),
+        );
+    });
+    time("store_encode", &mut || {
+        std::hint::black_box(dataset.to_store_bytes());
+    });
+    time("store_decode", &mut || {
+        std::hint::black_box(
+            dynaddr_atlas::AtlasDataset::from_store_bytes(&store).expect("store round-trips"),
+        );
     });
     (results, sim_shards, sim_queue)
 }

@@ -2,45 +2,58 @@
 //!
 //! Usage:
 //!   simulate --out DIR [--scale S] [--seed N] [--threads N]
+//!            [--format store|jsonl]
 //!
 //! Writes into DIR:
-//!   meta.jsonl, connections.jsonl, kroot.jsonl, uptime.jsonl  (the dataset)
+//!   dataset.store                                             (the dataset)
+//!   truth.store                                               (ground truth)
 //!   ip2as/2015-MM.pfx2as                                      (12 snapshots)
-//!   truth.json                                                (ground truth)
 //!   names.json                                                (ASN → name)
 //!
-//! The dataset directory is exactly what the `analyze` binary consumes —
-//! the pipeline runs from the files alone, as it would on real scraped
-//! logs.
+//! With `--format jsonl` the dataset is written as the legacy four `.jsonl`
+//! files and the truth as `truth.json` instead. The dataset directory is
+//! exactly what the `analyze` binary consumes in either format — the
+//! pipeline runs from the files alone, as it would on real scraped logs.
 
 use dynaddr_atlas::world::{paper_route_tables, paper_world};
-use dynaddr_atlas::simulate;
+use dynaddr_atlas::{simulate, StoreFormat};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+
+const USAGE: &str =
+    "usage: simulate --out DIR [--scale S] [--seed N] [--threads N] [--format store|jsonl]";
 
 fn main() {
     let mut scale = 0.1f64;
     let mut seed = 2015u64;
     let mut out: Option<PathBuf> = None;
+    let mut format = StoreFormat::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => scale = args.next().expect("--scale value").parse().expect("numeric"),
             "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
+            "--format" => {
+                let v = args.next().expect("--format value");
+                format = StoreFormat::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown format {v:?} (want store or jsonl)");
+                    std::process::exit(2);
+                });
+            }
             // Overrides the DYNADDR_THREADS environment variable.
             "--threads" => dynaddr_exec::set_threads(Some(
                 args.next().expect("--threads value").parse().expect("numeric"),
             )),
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: simulate --out DIR [--scale S] [--seed N] [--threads N]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
     }
     let Some(out_dir) = out else {
-        eprintln!("usage: simulate --out DIR [--scale S] [--seed N] [--threads N]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
 
@@ -49,13 +62,25 @@ fn main() {
     let output = simulate(&world);
     let snaps = paper_route_tables(&world);
 
-    output.dataset.save_dir(&out_dir).expect("write dataset");
+    output.dataset.save_dir_format(&out_dir, format).expect("write dataset");
     snaps.save_dir(&out_dir.join("ip2as")).expect("write snapshots");
-    std::fs::write(
-        out_dir.join("truth.json"),
-        serde_json::to_string_pretty(&output.truth).expect("truth serializes"),
-    )
-    .expect("write truth");
+    // Like save_dir_format, drop the other format's truth file so the
+    // directory never holds two diverging copies.
+    match format {
+        StoreFormat::Store => {
+            std::fs::write(out_dir.join("truth.store"), output.truth.to_store_bytes())
+                .expect("write truth");
+            let _ = std::fs::remove_file(out_dir.join("truth.json"));
+        }
+        StoreFormat::Jsonl => {
+            std::fs::write(
+                out_dir.join("truth.json"),
+                serde_json::to_string_pretty(&output.truth).expect("truth serializes"),
+            )
+            .expect("write truth");
+            let _ = std::fs::remove_file(out_dir.join("truth.store"));
+        }
+    }
     let names: BTreeMap<u32, String> = output
         .truth
         .isp_policies
@@ -69,7 +94,7 @@ fn main() {
     .expect("write names");
 
     eprintln!(
-        "wrote {}: {} probes, {} connection entries, {} kroot records, {} uptime records",
+        "wrote {} ({format} format): {} probes, {} connection entries, {} kroot records, {} uptime records",
         out_dir.display(),
         output.dataset.meta.len(),
         output.dataset.connections.len(),

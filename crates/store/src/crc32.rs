@@ -1,0 +1,54 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) — the checksum covering
+//! every segment body and the footer index. Table-driven, table built at
+//! compile time; std-only like the rest of the workspace.
+
+const TABLE: [u32; 256] = make_table();
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (IEEE, the zlib/PNG/Ethernet polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"the quick brown fox".to_vec();
+        let clean = crc32(&data);
+        for i in 0..data.len() * 8 {
+            data[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&data), clean, "flip of bit {i} undetected");
+            data[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The bridge between typed rows and the columnar wire format.
+
+use crate::column::{ColumnBuilder, ColumnKind, ColumnReader, DecodeError};
+
+/// A row type storable in a segmented columnar file.
+///
+/// Implementations fix the table's identity and column schema at compile
+/// time; the encode/decode pair must be mutually inverse so that a
+/// round-trip reproduces the rows exactly (the workspace pins this with
+/// property tests). Rows should be sorted by [`ColumnarRecord::key`] before
+/// writing — the footer indexes each segment's key range, and sorted input
+/// makes those ranges disjoint, so single-key reads touch one segment.
+pub trait ColumnarRecord: Sized + Send + Sync {
+    /// Table identifier written into segment headers and the footer.
+    const TABLE_ID: u8;
+    /// Human-readable table name used in errors and reports.
+    const TABLE_NAME: &'static str;
+    /// The column schema: kind of every column, in order.
+    const COLUMNS: &'static [ColumnKind];
+
+    /// The partition key (probe id or equivalent) indexed by the footer.
+    fn key(&self) -> u32;
+
+    /// Appends every field of `rows` to the per-column builders.
+    /// `cols.len() == Self::COLUMNS.len()`, one builder per column in
+    /// schema order.
+    fn encode(rows: &[Self], cols: &mut [ColumnBuilder]);
+
+    /// Rebuilds `rows` rows from the per-column readers (schema order).
+    /// Must fail with a [`DecodeError`] — never panic — on any value a
+    /// correct encoder could not have produced.
+    fn decode(cols: &mut [ColumnReader<'_>], rows: usize) -> Result<Vec<Self>, DecodeError>;
+}

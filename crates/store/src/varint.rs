@@ -1,0 +1,116 @@
+//! LEB128 varints and zigzag mapping — the integer wire format of every
+//! store column and header field.
+//!
+//! Unsigned values are little-endian base-128 (7 value bits per byte, high
+//! bit = continuation, at most 10 bytes for a `u64`). Signed values go
+//! through the zigzag bijection first so that small-magnitude negatives
+//! stay short — the common case for delta-coded timestamp columns.
+
+use crate::column::DecodeError;
+
+/// Appends `v` as an LEB128 varint.
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint at `*pos`, advancing it. Fails (without
+/// panicking) on truncation or a varint longer than a `u64`.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| DecodeError::new("varint truncated"))?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(DecodeError::new("varint overflows u64"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value onto the unsigned line: 0, -1, 1, -2, 2, … so that
+/// small magnitudes of either sign encode in few varint bytes.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` zigzag-mapped as a varint.
+pub fn write_i64(buf: &mut Vec<u8>, v: i64) {
+    write_u64(buf, zigzag(v));
+}
+
+/// Reads a zigzag varint at `*pos`, advancing it.
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64, DecodeError> {
+    read_u64(buf, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u64(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn u64_roundtrips_boundaries() {
+        for v in [0, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            roundtrip_u64(v);
+        }
+    }
+
+    #[test]
+    fn i64_roundtrips_boundaries() {
+        for v in [0i64, 1, -1, 63, -64, i32::MAX as i64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_short() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in -3i64..=3 {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(buf.len(), 1, "small delta {v} must be one byte");
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_error() {
+        assert!(read_u64(&[], &mut 0).is_err());
+        assert!(read_u64(&[0x80, 0x80], &mut 0).is_err());
+        // 11 continuation bytes can never be a valid u64.
+        let overlong = [0xff; 11];
+        assert!(read_u64(&overlong, &mut 0).is_err());
+    }
+}

@@ -58,7 +58,7 @@ fn main() {
     let dir = std::env::temp_dir().join("dynaddr-custom-world");
     out.dataset.save_dir(&dir).expect("write dataset");
     println!(
-        "wrote {} (meta/connections/kroot/uptime .jsonl)",
+        "wrote {} (dataset.store, segmented columnar format)",
         dir.display()
     );
 

@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# CI gate: release build, full workspace tests, and a perfsnap smoke run.
+# CI gate: release build, full workspace tests, a perfsnap smoke run, a
+# store-vs-jsonl round-trip smoke, and the quickstart example.
 #
 # The smoke run times the pipeline at a tiny scale (0.01) just to prove the
 # bench binary exits 0 and writes valid JSON — it is NOT a benchmark and its
@@ -17,12 +18,32 @@ cargo test --workspace -q
 
 echo "==> perfsnap smoke (scale 0.01)"
 SNAP="$(mktemp /tmp/perfsnap-smoke.XXXXXX.json)"
-trap 'rm -f "$SNAP"' EXIT
+SMOKE="$(mktemp -d /tmp/dynaddr-smoke.XXXXXX)"
+trap 'rm -rf "$SNAP" "$SMOKE"' EXIT
 cargo run --release -q -p dynaddr-bench --bin perfsnap -- \
     --scale 0.01 --iters 1 --out "$SNAP"
 
 python3 -m json.tool "$SNAP" > /dev/null
 grep -q '"sim_queue"' "$SNAP"
 grep -q '"sim_event_loop"' "$SNAP"
+grep -q '"store_decode"' "$SNAP"
+grep -q '"dataset_bytes"' "$SNAP"
+
+echo "==> store round-trip smoke (scale 0.01, store vs jsonl)"
+# The same world written in both formats must analyze to identical reports.
+cargo run --release -q -p dynaddr-bench --bin simulate -- \
+    --out "$SMOKE/store" --scale 0.01 --seed 5 --format store
+cargo run --release -q -p dynaddr-bench --bin simulate -- \
+    --out "$SMOKE/jsonl" --scale 0.01 --seed 5 --format jsonl
+test -f "$SMOKE/store/dataset.store"
+test -f "$SMOKE/jsonl/meta.jsonl"
+cargo run --release -q -p dynaddr-bench --bin analyze -- \
+    --data "$SMOKE/store" --report "$SMOKE/store.txt" > /dev/null
+cargo run --release -q -p dynaddr-bench --bin analyze -- \
+    --data "$SMOKE/jsonl" --report "$SMOKE/jsonl.txt" > /dev/null
+diff "$SMOKE/store.txt" "$SMOKE/jsonl.txt"
+
+echo "==> quickstart example smoke"
+cargo run --release -q --example quickstart > /dev/null
 
 echo "==> ci OK"

@@ -42,4 +42,5 @@ pub use dynaddr_atlas as atlas;
 pub use dynaddr_core as analysis;
 pub use dynaddr_ip2as as ip2as;
 pub use dynaddr_ispnet as ispnet;
+pub use dynaddr_store as store;
 pub use dynaddr_types as types;

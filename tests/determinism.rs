@@ -86,6 +86,47 @@ fn simulation_is_byte_identical_across_threads_and_shard_layouts() {
     }
 }
 
+/// Store-encodes a freshly simulated dataset and truth at the given worker
+/// count, returning both byte blobs.
+fn store_bytes_at(threads: Option<usize>) -> (Vec<u8>, Vec<u8>) {
+    dynaddr_exec::set_threads(threads);
+    let world = paper_world(0.02, 7);
+    let out = simulate(&world);
+    let (dataset, truth) = (out.dataset.to_store_bytes(), out.truth.to_store_bytes());
+    dynaddr_exec::set_threads(None);
+    (dataset, truth)
+}
+
+#[test]
+fn store_encoding_is_byte_identical_across_thread_counts() {
+    let (base_ds, base_truth) = store_bytes_at(Some(1));
+    for threads in [Some(2), Some(64), None] {
+        let (ds, truth) = store_bytes_at(threads);
+        assert_eq!(base_ds, ds, "dataset.store bytes differ at threads={threads:?}");
+        assert_eq!(base_truth, truth, "truth.store bytes differ at threads={threads:?}");
+    }
+
+    // Decoding must reproduce the normalized in-memory dataset exactly, at
+    // any worker count, and re-encoding the decoded copy must reproduce the
+    // file bytes (the format has one canonical form).
+    dynaddr_exec::set_threads(Some(1));
+    let expect = simulate(&paper_world(0.02, 7));
+    dynaddr_exec::set_threads(None);
+    for threads in [Some(1), Some(2), Some(64), None] {
+        dynaddr_exec::set_threads(threads);
+        let ds = dynaddr::atlas::AtlasDataset::from_store_bytes(&base_ds).expect("decodes");
+        let truth = dynaddr::atlas::GroundTruth::from_store_bytes(&base_truth).expect("decodes");
+        dynaddr_exec::set_threads(None);
+        assert_eq!(expect.dataset, ds, "decoded dataset differs at threads={threads:?}");
+        assert_eq!(
+            serde_json::to_string(&expect.truth).expect("serializes"),
+            serde_json::to_string(&truth).expect("serializes"),
+            "decoded truth differs at threads={threads:?}"
+        );
+        assert_eq!(base_ds, ds.to_store_bytes(), "re-encode differs at threads={threads:?}");
+    }
+}
+
 #[test]
 fn simulation_is_byte_identical_across_bucket_widths_and_splitting() {
     for seed in [7u64, 23] {

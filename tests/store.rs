@@ -1,0 +1,366 @@
+//! The columnar store's end-to-end contract: any normalized dataset
+//! round-trips exactly (property-tested), any flipped bit yields a typed
+//! error naming the damaged region — never a panic or silently wrong data —
+//! and directory loading attributes every failure to the file (and segment)
+//! that caused it.
+
+use dynaddr::atlas::logs::{LoadError, StoreFormat};
+use dynaddr::atlas::{
+    AtlasDataset, ConnectionLogEntry, GroundTruth, KrootPingRecord, PeerAddr, ProbeMeta,
+    SosUptimeRecord,
+};
+use dynaddr::atlas::truth::IspPolicyTruth;
+use dynaddr::store::{FileReader, ReadMode, StoreError, MAGIC};
+use dynaddr::types::{Country, ProbeId, ProbeTag, ProbeVersion, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dynaddr-store-{tag}-{}", std::process::id()))
+}
+
+// ---------------------------------------------------------------------------
+// Property: random normalized datasets round-trip exactly and idempotently
+// ---------------------------------------------------------------------------
+
+fn arb_dataset() -> impl Strategy<Value = AtlasDataset> {
+    let meta = proptest::collection::vec((0u32..40, 0u8..3, 0u8..4, 0u8..4), 0..12);
+    let conns = proptest::collection::vec((0u32..40, 0i64..100_000, 0i64..50_000, 0u8..255), 0..30);
+    let kroot = proptest::collection::vec((0u32..40, 0i64..100_000, 0u8..4, -100i64..100_000), 0..30);
+    let uptime = proptest::collection::vec((0u32..40, 0i64..100_000, 0u64..1_000_000), 0..20);
+    (meta, conns, kroot, uptime).prop_map(|(meta, conns, kroot, uptime)| {
+        let mut ds = AtlasDataset::default();
+        let mut seen = std::collections::HashSet::new();
+        for (p, ver, country, tags) in meta {
+            if !seen.insert(p) {
+                continue; // meta is one row per probe
+            }
+            ds.meta.push(ProbeMeta {
+                probe: ProbeId(p),
+                version: [ProbeVersion::V1, ProbeVersion::V2, ProbeVersion::V3][ver as usize],
+                country: Country::new(["DE", "US", "JP", "GR"][country as usize]).unwrap(),
+                tags: [ProbeTag::Home, ProbeTag::Dsl, ProbeTag::Nat][..tags as usize % 4]
+                    .to_vec(),
+            });
+        }
+        for (p, start, len, addr) in conns {
+            ds.connections.push(ConnectionLogEntry {
+                probe: ProbeId(p),
+                start: SimTime(start),
+                end: SimTime(start + len),
+                peer: PeerAddr::V4(Ipv4Addr::new(10, 0, (p % 256) as u8, addr)),
+            });
+        }
+        for (p, ts, success, lts) in kroot {
+            ds.kroot.push(KrootPingRecord {
+                probe: ProbeId(p),
+                timestamp: SimTime(ts),
+                sent: 3,
+                success,
+                lts_secs: lts,
+            });
+        }
+        for (p, ts, up) in uptime {
+            ds.uptime.push(SosUptimeRecord {
+                probe: ProbeId(p),
+                timestamp: SimTime(ts),
+                uptime_secs: up,
+            });
+        }
+        ds.normalize();
+        ds
+    })
+}
+
+proptest! {
+    /// Encode→decode is the identity on normalized datasets, and the
+    /// encoding has one canonical form (re-encoding the decoded copy
+    /// reproduces the bytes).
+    #[test]
+    fn random_dataset_roundtrips(ds in arb_dataset()) {
+        let bytes = ds.to_store_bytes();
+        let back = AtlasDataset::from_store_bytes(&bytes).expect("clean bytes decode");
+        prop_assert_eq!(&ds, &back);
+        prop_assert_eq!(bytes, back.to_store_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: a flipped bit in any region is a typed error, never a panic
+// ---------------------------------------------------------------------------
+
+fn sample_dataset() -> AtlasDataset {
+    let mut ds = AtlasDataset::default();
+    for p in 0..20u32 {
+        ds.meta.push(ProbeMeta {
+            probe: ProbeId(p),
+            version: ProbeVersion::V3,
+            country: Country::new("DE").unwrap(),
+            tags: vec![ProbeTag::Home],
+        });
+        for k in 0..10i64 {
+            ds.connections.push(ConnectionLogEntry {
+                probe: ProbeId(p),
+                start: SimTime(k * 1000),
+                end: SimTime(k * 1000 + 500),
+                peer: PeerAddr::V4(Ipv4Addr::new(10, 0, p as u8, k as u8)),
+            });
+        }
+    }
+    ds.normalize();
+    ds
+}
+
+/// The file's regions, located from the public layout: magic, segments,
+/// footer, trailer (footer offset + end magic in the last 16 bytes).
+fn regions(bytes: &[u8]) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+    let n = bytes.len();
+    let footer_at =
+        u64::from_le_bytes(bytes[n - 16..n - 8].try_into().unwrap()) as usize;
+    (MAGIC.len()..footer_at, footer_at..n - 16, n - 16..n)
+}
+
+#[test]
+fn bit_flip_in_magic_is_bad_magic() {
+    let mut bytes = sample_dataset().to_store_bytes();
+    bytes[3] ^= 0x10;
+    for mode in [ReadMode::Strict, ReadMode::Recover] {
+        let err = match mode {
+            ReadMode::Strict => AtlasDataset::from_store_bytes(&bytes).unwrap_err(),
+            ReadMode::Recover => {
+                AtlasDataset::from_store_bytes_recover(&bytes).unwrap_err()
+            }
+        };
+        assert!(matches!(err, StoreError::BadMagic { .. }), "{mode:?}: {err}");
+    }
+}
+
+#[test]
+fn bit_flip_in_any_segment_is_segment_corrupt() {
+    let bytes = sample_dataset().to_store_bytes();
+    let (segments, _, _) = regions(&bytes);
+    // Flip one bit in every 13th byte of the segment region (all of them
+    // is the store crate's own exhaustive test; this pins the typed error
+    // and the segment attribution at the dataset level).
+    for at in segments.step_by(13) {
+        let mut copy = bytes.clone();
+        copy[at] ^= 0x01;
+        let err = AtlasDataset::from_store_bytes(&copy).unwrap_err();
+        match &err {
+            StoreError::SegmentCorrupt { table, offset, .. } => {
+                assert!(!table.is_empty(), "segment error must name its table");
+                assert!((*offset as usize) < bytes.len());
+            }
+            other => panic!("byte {at}: expected SegmentCorrupt, got {other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("segment"), "error should mention the segment: {msg}");
+    }
+}
+
+#[test]
+fn bit_flip_in_footer_is_bad_footer() {
+    let bytes = sample_dataset().to_store_bytes();
+    let (_, footer, _) = regions(&bytes);
+    for at in footer.step_by(7) {
+        let mut copy = bytes.clone();
+        copy[at] ^= 0x80;
+        let err = AtlasDataset::from_store_bytes(&copy).unwrap_err();
+        assert!(
+            matches!(err, StoreError::BadFooter { .. }),
+            "byte {at}: expected BadFooter, got {err}"
+        );
+    }
+}
+
+#[test]
+fn bit_flip_in_trailer_is_typed() {
+    let bytes = sample_dataset().to_store_bytes();
+    let (_, _, trailer) = regions(&bytes);
+    for at in trailer {
+        let mut copy = bytes.clone();
+        copy[at] ^= 0x40;
+        let err = AtlasDataset::from_store_bytes(&copy).unwrap_err();
+        assert!(
+            matches!(err, StoreError::BadTrailer { .. } | StoreError::BadFooter { .. }),
+            "byte {at}: expected BadTrailer/BadFooter, got {err}"
+        );
+    }
+}
+
+#[test]
+fn truncated_and_garbage_files_are_typed() {
+    assert!(matches!(
+        AtlasDataset::from_store_bytes(b"short").unwrap_err(),
+        StoreError::TooShort { .. }
+    ));
+    let garbage = vec![0xA5u8; 256];
+    assert!(matches!(
+        AtlasDataset::from_store_bytes(&garbage).unwrap_err(),
+        StoreError::BadMagic { .. }
+    ));
+}
+
+#[test]
+fn recover_mode_skips_corrupt_segment_and_reports_it() {
+    let ds = sample_dataset();
+    let mut bytes = ds.to_store_bytes();
+    // Damage one connections segment (table id 2) mid-body.
+    let reader = FileReader::open(&bytes).expect("clean file opens");
+    let seg = reader
+        .segments()
+        .iter()
+        .find(|s| s.table == 2)
+        .copied()
+        .expect("a connections segment exists");
+    bytes[seg.offset as usize + 4 + (seg.len / 2) as usize] ^= 0x04;
+
+    // Strict: typed failure.
+    assert!(matches!(
+        AtlasDataset::from_store_bytes(&bytes).unwrap_err(),
+        StoreError::SegmentCorrupt { .. }
+    ));
+
+    // Recover: the other tables survive intact, the drop is reported.
+    let (recovered, report) = AtlasDataset::from_store_bytes_recover(&bytes).expect("recovers");
+    assert!(!report.is_clean());
+    assert_eq!(report.dropped.len(), 1);
+    assert_eq!(report.dropped[0].table, "connections");
+    assert_eq!(report.rows_dropped(), seg.rows);
+    assert_eq!(recovered.meta, ds.meta);
+    assert_eq!(recovered.uptime, ds.uptime);
+    assert_eq!(
+        recovered.connections.len() as u64,
+        ds.connections.len() as u64 - seg.rows
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Ground truth
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ground_truth_roundtrips_including_exact_floats() {
+    let mut truth = GroundTruth::default();
+    truth.isp_policies.insert(
+        3320,
+        IspPolicyTruth {
+            name: "Deutsche Telekom".into(),
+            country: "DE".into(),
+            periodic_hours: vec![24, 720],
+            renumbers_on_reconnect: true,
+            periodic_weight: 1.0 / 3.0,
+            probes: 977,
+        },
+    );
+    truth.firmware_dates.push(SimTime(86_400));
+    let bytes = truth.to_store_bytes();
+    let back = GroundTruth::from_store_bytes(&bytes).expect("decodes");
+    assert_eq!(
+        truth.isp_policies[&3320].periodic_weight.to_bits(),
+        back.isp_policies[&3320].periodic_weight.to_bits(),
+        "float policy weight must round-trip bit-exactly"
+    );
+    assert_eq!(bytes, back.to_store_bytes());
+
+    let mut corrupt = bytes.clone();
+    let mid = MAGIC.len() + 6;
+    corrupt[mid] ^= 0x01;
+    assert!(GroundTruth::from_store_bytes(&corrupt).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Directory loading: formats, sniffing, and error attribution
+// ---------------------------------------------------------------------------
+
+#[test]
+fn save_dir_roundtrips_in_both_formats() {
+    let ds = sample_dataset();
+    for format in [StoreFormat::Store, StoreFormat::Jsonl] {
+        let dir = temp_dir(&format!("fmt-{format}"));
+        ds.save_dir_format(&dir, format).expect("saves");
+        assert_eq!(AtlasDataset::sniff_format(&dir), format);
+        let back = AtlasDataset::load_dir(&dir).expect("loads");
+        assert_eq!(ds, back);
+        // Forcing the written format explicitly also works.
+        assert_eq!(ds, AtlasDataset::load_dir_as(&dir, format).expect("forced load"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn rewriting_in_the_other_format_leaves_no_stale_files() {
+    let ds = sample_dataset();
+    let dir = temp_dir("stale");
+    ds.save_dir_format(&dir, StoreFormat::Jsonl).expect("saves jsonl");
+    ds.save_dir_format(&dir, StoreFormat::Store).expect("saves store");
+    assert!(!dir.join("meta.jsonl").exists(), "jsonl files must be removed");
+    assert!(dir.join("dataset.store").exists());
+    ds.save_dir_format(&dir, StoreFormat::Jsonl).expect("saves jsonl again");
+    assert!(!dir.join("dataset.store").exists(), "store file must be removed");
+    assert_eq!(ds, AtlasDataset::load_dir(&dir).expect("loads"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_errors_name_the_offending_file() {
+    // Empty directory: the failure names the first missing jsonl file.
+    let dir = temp_dir("missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = AtlasDataset::load_dir(&dir).unwrap_err();
+    assert!(matches!(err, LoadError::Io { .. }));
+    assert!(err.to_string().contains("meta.jsonl"), "{err}");
+
+    // Garbage store file with no jsonl fallback: named, typed as store.
+    std::fs::write(dir.join("dataset.store"), b"not a store file at all").unwrap();
+    let err = AtlasDataset::load_dir(&dir).unwrap_err();
+    assert!(matches!(
+        err,
+        LoadError::Store { source: StoreError::BadMagic { .. }, .. }
+    ));
+    assert!(err.to_string().contains("dataset.store"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A malformed jsonl line is attributed to its file.
+    let dir = temp_dir("badline");
+    sample_dataset().save_dir_format(&dir, StoreFormat::Jsonl).expect("saves");
+    let path = dir.join("kroot.jsonl");
+    let mut doc = std::fs::read_to_string(&path).unwrap();
+    doc.push_str("{not json\n");
+    std::fs::write(&path, doc).unwrap();
+    let err = AtlasDataset::load_dir(&dir).unwrap_err();
+    assert!(matches!(err, LoadError::Jsonl { .. }));
+    assert!(err.to_string().contains("kroot.jsonl"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A corrupt segment inside dataset.store is named file-and-segment.
+    let dir = temp_dir("badseg");
+    let ds = sample_dataset();
+    ds.save_dir(&dir).expect("saves");
+    let path = dir.join("dataset.store");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x02;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = AtlasDataset::load_dir(&dir).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("dataset.store"), "{msg}");
+    // Recovery still loads what survived.
+    let (recovered, report) = AtlasDataset::load_dir_recover(&dir).expect("recovers");
+    assert!(!report.is_clean());
+    assert!(recovered.meta.len() <= ds.meta.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damaged_magic_falls_back_to_jsonl_when_legacy_files_exist() {
+    let ds = sample_dataset();
+    let dir = temp_dir("fallback");
+    ds.save_dir_format(&dir, StoreFormat::Jsonl).expect("saves jsonl");
+    // A stray non-store file named dataset.store must not shadow good data.
+    std::fs::write(dir.join("dataset.store"), b"stray bytes, wrong magic").unwrap();
+    assert_eq!(AtlasDataset::sniff_format(&dir), StoreFormat::Jsonl);
+    assert_eq!(ds, AtlasDataset::load_dir(&dir).expect("falls back to jsonl"));
+    std::fs::remove_dir_all(&dir).ok();
+}
