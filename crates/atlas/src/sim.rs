@@ -18,20 +18,25 @@
 //!
 //! ## Sharding
 //!
-//! There is no single global event loop. [`World::build`] instantiates
-//! every net and probe with stable global ids, then [`World::into_shards`]
-//! partitions them into connected components (see [`crate::shard`]): each
-//! share-net is its own unit — share pools are independent, so nets of one
-//! ASN are only coupled (and unified) when an administrative-renumbering
-//! event targets that ASN — and mover probes add the only cross-ISP edges.
-//! Each shard owns its nets, its probes, and its own [`EventQueue`], so
-//! shards run concurrently on the `dynaddr-exec` executor with no shared
-//! mutable state. Every random draw comes from a [`SeedTree`] stream keyed
-//! by entity (`("probe", id)`, `("isp", asn)`, `("admin", asn)`, …), never
-//! from a shared world stream, so a shard replays exactly the event
-//! subsequence the unsharded loop would give its entities — and the merged,
-//! canonically sorted output is byte-identical at any thread count and any
-//! forced shard count.
+//! There is no single global event loop. [`World::build`] computes only the
+//! cheap partition plan: per-net construction recipes ([`NetPlan`]) and
+//! per-probe placements ([`ProbePlan`]) under stable global ids, which
+//! [`World::into_shards`] groups into connected components (see
+//! [`crate::shard`]): each share-net is its own unit — share pools are
+//! independent, so nets of one ASN are only coupled (and unified) when an
+//! administrative-renumbering event targets that ASN — and mover probes add
+//! the only cross-ISP edges. The expensive half of construction — pools,
+//! servers, probe state — happens *inside* the shard map
+//! ([`Sim::materialize`]), so it parallelizes like the event loops
+//! themselves. Each shard owns its nets, its probes, and its own
+//! [`EventQueue`], so shards run concurrently on the `dynaddr-exec`
+//! executor with no shared mutable state. Every random draw comes from a
+//! [`SeedTree`] stream keyed by entity (`("probe", id)`,
+//! `("world", asn)` → `("pool", net)`, `("admin", asn)`, …), never from a
+//! shared world stream, so a shard replays exactly the event subsequence
+//! the unsharded loop would give its entities — and the merged, canonically
+//! sorted output is byte-identical at any thread count and any forced shard
+//! count.
 //!
 //! ## Log thinning
 //!
@@ -55,8 +60,8 @@ use crate::truth::{
     ChangeCause, GroundTruth, IspPolicyTruth, TruthChange, TruthOutage, TruthOutageKind,
 };
 use crate::shard::UnionFind;
-use dynaddr_ispnet::pool::{ClientId, PoolConfig};
-use dynaddr_ispnet::{IspNetwork, NextIspAction};
+use dynaddr_ispnet::pool::{AddressPool, AllocationPolicy, ClientId};
+use dynaddr_ispnet::{AccessConfig, IspNetwork, NextIspAction};
 use dynaddr_types::dist::{poisson_gap, DurationDist};
 use dynaddr_types::rng::SeedTree;
 use dynaddr_types::time::DAY;
@@ -124,6 +129,10 @@ pub struct SimOptions {
     /// admin-targeted ASN (if any) is unified and giant ISPs split into
     /// per-share components. Setting this restores the coarse layout.
     pub unify_all_isps: bool,
+    /// Materialize every shard's nets and probes serially, before the
+    /// parallel shard map, instead of inside it. Reference mode for the CI
+    /// gate: shard-local construction must produce the same bytes.
+    pub serial_build: bool,
 }
 
 /// Aggregate event-queue traffic across all shards of one simulation,
@@ -172,7 +181,13 @@ impl QueueTelemetry {
 pub struct SimStats {
     /// How many shards the world was partitioned into.
     pub shards: usize,
-    /// Seconds spent building the world and running the sharded event loops.
+    /// Seconds spent constructing the world: the serial partition plan plus
+    /// every shard's net/probe materialization. Materialization runs inside
+    /// the shard map, so this is a CPU-seconds sum — at one worker it equals
+    /// wall clock, at many it exceeds its wall-clock share.
+    pub world_build_s: f64,
+    /// Seconds spent running the sharded event loops, excluding
+    /// [`SimStats::world_build_s`].
     pub event_loop_s: f64,
     /// Seconds spent generating filler probes.
     pub filler_s: f64,
@@ -211,20 +226,31 @@ pub fn simulate_instrumented_opts(
     let mut world = World::build(config);
     let base_truth = std::mem::take(&mut world.truth);
     let admin = world.admin.clone();
-    let shards = world.into_shards(opts);
+    let mut shards = world.into_shards(opts);
     let n_shards = shards.len();
-    let (mut output, queue) = dynaddr_exec::par_fold(
+    let plan_s = t0.elapsed().as_secs_f64();
+    let mut serial_build_s = 0.0;
+    if opts.serial_build {
+        // Reference mode: materialize every shard up front, serially, so CI
+        // can diff the default shard-local construction against it.
+        for shard in &mut shards {
+            serial_build_s += shard.materialize();
+        }
+    }
+    let t_loop = Instant::now();
+    let (mut output, queue, shard_build_s) = dynaddr_exec::par_fold(
         shards,
-        || (empty_output(), QueueTelemetry::default()),
-        |(acc, tel), mut shard| {
-            shard.run();
+        || (empty_output(), QueueTelemetry::default(), 0.0f64),
+        |(acc, tel, build_s), mut shard| {
+            let b = shard.run();
             let q = shard.queue.stats();
             (
                 merge_outputs(acc, SimOutput { dataset: shard.dataset, truth: shard.truth }),
                 tel.absorb(q),
+                build_s + b,
             )
         },
-        |(a, ta), (b, tb)| (merge_outputs(a, b), ta.merge(tb)),
+        |(a, ta, ba), (b, tb, bb)| (merge_outputs(a, b), ta.merge(tb), ba + bb),
     );
     // Attach the world-level truth no shard owns.
     output.truth.isp_policies = base_truth.isp_policies;
@@ -238,7 +264,8 @@ pub fn simulate_instrumented_opts(
             }
         }
     }
-    let event_loop_s = t0.elapsed().as_secs_f64();
+    let world_build_s = plan_s + serial_build_s + shard_build_s;
+    let event_loop_s = (t_loop.elapsed().as_secs_f64() - shard_build_s).max(0.0);
 
     let t1 = Instant::now();
     crate::fill::generate_filler(config, &mut output);
@@ -248,7 +275,10 @@ pub fn simulate_instrumented_opts(
     output.dataset.normalize();
     output.truth.normalize();
     let normalize_s = t2.elapsed().as_secs_f64();
-    (output, SimStats { shards: n_shards, event_loop_s, filler_s, normalize_s, queue })
+    (
+        output,
+        SimStats { shards: n_shards, world_build_s, event_loop_s, filler_s, normalize_s, queue },
+    )
 }
 
 fn empty_output() -> SimOutput {
@@ -330,22 +360,60 @@ struct SimParams {
     ctrl_drop_rate: f64,
     firmware_dates: Vec<SimTime>,
     firmware_uptake: f64,
+    /// The ISP specs, shared with every shard so probes can be materialized
+    /// shard-locally from their plans.
+    isps: Arc<Vec<IspSpec>>,
 }
 
-/// The fully built world before partitioning: every net and probe under
-/// stable global indices, plus the world-level truth no shard owns.
+/// Construction recipe for one share-net: everything a shard needs to
+/// materialize the [`IspNetwork`] locally. Building from the plan is
+/// O(prefixes) — the pool's background occupancy is the implicit function
+/// of `pool_seed`, so no bitmap and no RNG sweep exist anywhere.
+struct NetPlan {
+    asn: Asn,
+    access: AccessConfig,
+    prefixes: Arc<Vec<Prefix>>,
+    policy: AllocationPolicy,
+    occupancy: f64,
+    /// Seed of the pool's implicit background occupancy, derived from the
+    /// `("world", asn)` → `("pool", net)` SeedTree path: it depends only on
+    /// the net's stable global index, never on shard layout or build order.
+    pool_seed: u64,
+}
+
+/// Placement of one probe, decided in the cheap planning pass so the
+/// partition knows probe → net; everything else about the probe is
+/// re-derived shard-locally from its `("probe", id)` stream.
+struct ProbePlan {
+    id: u32,
+    /// Index of the probe's origin ISP in the spec list.
+    isp: usize,
+    /// Chosen access share within that ISP (the plan's one RNG draw).
+    share: usize,
+    ordinal: usize,
+    /// Origin net — global until [`World::into_shards`] remaps it.
+    net: usize,
+    mover_target: Option<(usize, SimTime)>,
+}
+
+/// The planned world before partitioning: per-net recipes and per-probe
+/// placements under stable global indices, plus the world-level truth no
+/// shard owns. Materialization happens per shard, after partitioning.
 struct World {
-    nets: Vec<IspNetwork>,
+    net_plans: Vec<NetPlan>,
     net_asn: Vec<Asn>,
-    probes: Vec<ProbeSim>,
+    probe_plans: Vec<ProbePlan>,
     truth: GroundTruth,
     admin: Option<(Asn, SimTime, Arc<Vec<Prefix>>)>,
     params: SimParams,
 }
 
-/// One shard's event loop: a private set of nets and probes, a private
-/// queue, and private output buffers.
+/// One shard's event loop: a private set of nets and probes (materialized
+/// from plans by [`Sim::materialize`]), a private queue, and private output
+/// buffers.
 struct Sim {
+    net_plans: Vec<NetPlan>,
+    probe_plans: Vec<ProbePlan>,
     nets: Vec<IspNetwork>,
     net_asn: Vec<Asn>,
     probes: Vec<ProbeSim>,
@@ -360,33 +428,35 @@ struct Sim {
 impl World {
     fn build(config: &WorldConfig) -> World {
         let seeds = SeedTree::new(config.seed);
-        let mut nets = Vec::new();
+        let mut net_plans = Vec::new();
         let mut net_asn = Vec::new();
-        let mut probes: Vec<ProbeSim> = Vec::new();
+        let mut probe_plans: Vec<ProbePlan> = Vec::new();
         let mut truth = GroundTruth {
             firmware_dates: config.firmware_dates.clone(),
             ..GroundTruth::default()
         };
 
-        // Build one IspNetwork per (ISP, access share). Shares use the same
-        // prefix list; address collisions across shares are harmless because
-        // the analysis never compares addresses across probes.
-        let mut isp_nets: Vec<Vec<(usize, &crate::config::AccessShare)>> = Vec::new();
+        // Plan one share-net per (ISP, access share). Shares of an ISP draw
+        // from one `Arc`-shared prefix list; address collisions across
+        // shares are harmless because the analysis never compares addresses
+        // across probes.
+        let mut isp_nets: Vec<Vec<usize>> = Vec::new();
         for spec in &config.isps {
-            let mut isp_rng = seeds.rng_for_id("isp", spec.asn.0 as u64);
+            let world_seeds = seeds.child_id("world", u64::from(spec.asn.0));
+            let prefixes = Arc::new(spec.prefixes.clone());
             let mut share_nets = Vec::new();
-            for (si, share) in spec.shares.iter().enumerate() {
-                let pool_cfg = PoolConfig {
-                    prefixes: spec.prefixes.clone(),
+            for share in &spec.shares {
+                let net_idx = net_plans.len();
+                net_plans.push(NetPlan {
+                    asn: spec.asn,
+                    access: share.access.clone(),
+                    prefixes: Arc::clone(&prefixes),
                     policy: spec.allocation,
-                    background_occupancy: spec.occupancy,
-                };
-                let net =
-                    IspNetwork::new(spec.asn, &pool_cfg, share.access.clone(), &mut isp_rng);
-                nets.push(net);
+                    occupancy: spec.occupancy,
+                    pool_seed: world_seeds.child_id("pool", net_idx as u64).root(),
+                });
                 net_asn.push(spec.asn);
-                share_nets.push((nets.len() - 1, share));
-                let _ = si;
+                share_nets.push(net_idx);
             }
             isp_nets.push(share_nets);
 
@@ -420,19 +490,16 @@ impl World {
             );
         }
 
-        // Instantiate analyzable probes.
+        // Plan analyzable probes. A probe's share pick is the first draw of
+        // its ("probe", id) stream; the plan consumes it here (the partition
+        // needs probe → net) and `make_probe` burns the same draw when the
+        // shard materializes, keeping every later draw aligned.
         let mut next_probe_id = 1u32;
         for (isp_idx, spec) in config.isps.iter().enumerate() {
             for k in 0..spec.probes {
-                let p = make_probe(
-                    &seeds,
-                    spec,
-                    &isp_nets[isp_idx],
-                    next_probe_id,
-                    k,
-                    None,
-                );
-                probes.push(p);
+                let p =
+                    plan_probe(&seeds, spec, isp_idx, &isp_nets[isp_idx], next_probe_id, k, None);
+                probe_plans.push(p);
                 next_probe_id += 1;
             }
         }
@@ -466,35 +533,29 @@ impl World {
                 let switch_day = mover_rng.gen_range(60..300);
                 let switch = SimTime(switch_day * DAY + mover_rng.gen_range(0..DAY));
                 // Weighted share pick within the target ISP.
-                let target_shares = &isp_nets[to_isp];
-                let total_w: f64 = target_shares.iter().map(|(_, sh)| sh.weight).sum();
-                let mut pick = mover_rng.gen::<f64>() * total_w;
-                let mut target_net = target_shares[target_shares.len() - 1].0;
-                for &(net, sh) in target_shares {
-                    if pick < sh.weight {
-                        target_net = net;
-                        break;
-                    }
-                    pick -= sh.weight;
-                }
+                let target_spec = &config.isps[to_isp];
+                let total_w: f64 = target_spec.shares.iter().map(|s| s.weight).sum();
+                let pick = mover_rng.gen::<f64>() * total_w;
+                let target_net = isp_nets[to_isp][pick_share(pick, &target_spec.shares)];
                 let spec = &config.isps[from_isp];
-                let p = make_probe(
+                let p = plan_probe(
                     &seeds,
                     spec,
+                    from_isp,
                     &isp_nets[from_isp],
                     next_probe_id,
                     10_000 + m,
                     Some((target_net, switch)),
                 );
-                probes.push(p);
+                probe_plans.push(p);
                 next_probe_id += 1;
             }
         }
 
         World {
-            nets,
+            net_plans,
             net_asn,
-            probes,
+            probe_plans,
             truth,
             admin: config
                 .admin_renumber
@@ -507,6 +568,7 @@ impl World {
                 ctrl_drop_rate: config.controller_drops_per_year / (365.0 * DAY as f64),
                 firmware_dates: config.firmware_dates.clone(),
                 firmware_uptake: config.firmware_uptake,
+                isps: Arc::new(config.isps.clone()),
             },
         }
     }
@@ -516,7 +578,7 @@ impl World {
     /// relative order — and with it every event tie-break — matches the
     /// subsequence an unsharded loop would produce for the same entities.
     fn into_shards(mut self, opts: &SimOptions) -> Vec<Sim> {
-        let n = self.nets.len();
+        let n = self.net_plans.len();
         if n == 0 {
             return Vec::new();
         }
@@ -547,7 +609,7 @@ impl World {
             }
         }
         // Movers are the only cross-ISP edges.
-        for p in &self.probes {
+        for p in &self.probe_plans {
             if let Some((target, _)) = p.mover_target {
                 uf.union(p.net, target);
             }
@@ -559,24 +621,20 @@ impl World {
             (0..groups).map(|_| Sim::empty(self.params.clone())).collect();
         let mut local_net = vec![0usize; n];
         let mut group_of_net = vec![0usize; n];
-        for (i, net) in self.nets.drain(..).enumerate() {
+        for (i, plan) in self.net_plans.drain(..).enumerate() {
             let g = comp_of[i] % groups;
             group_of_net[i] = g;
-            local_net[i] = shards[g].nets.len();
-            shards[g].nets.push(net);
+            local_net[i] = shards[g].net_plans.len();
+            shards[g].net_plans.push(plan);
             shards[g].net_asn.push(self.net_asn[i]);
         }
-        for mut p in self.probes.drain(..) {
+        for mut p in self.probe_plans.drain(..) {
             let g = group_of_net[p.net];
-            // Movers stay registered under their origin ASN, as before.
-            let asn = self.net_asn[p.net];
             if let Some((target, when)) = p.mover_target {
                 p.mover_target = Some((local_net[target], when));
             }
             p.net = local_net[p.net];
-            let local_idx = shards[g].probes.len();
-            shards[g].probes_by_asn.entry(asn.0).or_default().push(local_idx);
-            shards[g].probes.push(p);
+            shards[g].probe_plans.push(p);
         }
         // The admin event belongs to the shard holding that ASN's nets. An
         // ASN absent from the world still gets the event recorded in truth
@@ -597,6 +655,8 @@ impl World {
 impl Sim {
     fn empty(params: SimParams) -> Sim {
         Sim {
+            net_plans: Vec::new(),
+            probe_plans: Vec::new(),
             nets: Vec::new(),
             net_asn: Vec::new(),
             probes: Vec::new(),
@@ -609,7 +669,50 @@ impl Sim {
         }
     }
 
-    fn run(&mut self) {
+    /// Materializes the shard's nets and probes from their plans — the
+    /// expensive half of world construction, normally run inside the shard
+    /// map on the executor. Idempotent; returns the seconds spent.
+    fn materialize(&mut self) -> f64 {
+        if self.net_plans.is_empty() && self.probe_plans.is_empty() {
+            return 0.0;
+        }
+        let t = Instant::now();
+        let seeds = self.params.seeds;
+        for plan in self.net_plans.drain(..) {
+            let pool = AddressPool::from_parts(
+                plan.prefixes,
+                plan.policy,
+                plan.occupancy,
+                plan.pool_seed,
+            );
+            self.nets.push(IspNetwork::with_pool(plan.asn, pool, plan.access));
+        }
+        let isps = Arc::clone(&self.params.isps);
+        for plan in self.probe_plans.drain(..) {
+            let spec = &isps[plan.isp];
+            let share = &spec.shares[plan.share];
+            let p = make_probe(
+                &seeds,
+                spec,
+                share,
+                plan.net,
+                plan.id,
+                plan.ordinal,
+                plan.mover_target,
+            );
+            // Movers stay registered under their origin ASN, as before.
+            let asn = self.net_asn[p.net];
+            let local_idx = self.probes.len();
+            self.probes_by_asn.entry(asn.0).or_default().push(local_idx);
+            self.probes.push(p);
+        }
+        t.elapsed().as_secs_f64()
+    }
+
+    /// Runs the shard to completion, materializing first if that has not
+    /// happened yet. Returns the seconds spent materializing.
+    fn run(&mut self) -> f64 {
+        let build_s = self.materialize();
         // Seed initial events. Starts are scheduled "now" (before the year)
         // by running them directly, since the queue horizon only caps the end.
         for p in 0..self.probes.len() {
@@ -632,6 +735,7 @@ impl Sim {
             }
         }
         self.finalize();
+        build_s
     }
 
     // ----- connection-log helpers ---------------------------------------
@@ -1074,7 +1178,7 @@ impl Sim {
         let mut admin_rng = self.params.seeds.rng_for_id("admin", u64::from(asn.0));
         for i in 0..self.nets.len() {
             if self.net_asn[i] == asn {
-                self.nets[i].admin_renumber(&mut admin_rng, &new_prefixes, 0.4);
+                self.nets[i].admin_renumber(&mut admin_rng, Arc::clone(&new_prefixes), 0.4);
             }
         }
         let members = self.probes_by_asn.get(&asn.0).cloned().unwrap_or_default();
@@ -1177,28 +1281,54 @@ fn next_daily(from: SimTime, hour: u32, minute: u32) -> SimTime {
     t
 }
 
+/// Weighted share pick. `pick` is a uniform draw already scaled by the
+/// total weight; the scan order is the contract the planning pass and the
+/// shard-local materialization agree on.
+fn pick_share(mut pick: f64, shares: &[crate::config::AccessShare]) -> usize {
+    let mut chosen = shares.len() - 1;
+    for (si, share) in shares.iter().enumerate() {
+        if pick < share.weight {
+            chosen = si;
+            break;
+        }
+        pick -= share.weight;
+    }
+    chosen
+}
+
+/// Plans one probe: consumes exactly the first draw of the probe's
+/// `("probe", id)` stream (the weighted share pick) and records the
+/// placement. [`make_probe`] burns the same draw at materialization, so the
+/// rest of the stream is identical either way.
+fn plan_probe(
+    seeds: &SeedTree,
+    spec: &IspSpec,
+    isp: usize,
+    share_nets: &[usize],
+    id: u32,
+    ordinal: usize,
+    mover_target: Option<(usize, SimTime)>,
+) -> ProbePlan {
+    let mut rng = seeds.rng_for_id("probe", u64::from(id));
+    let total_w: f64 = spec.shares.iter().map(|s| s.weight).sum();
+    let pick = rng.gen::<f64>() * total_w;
+    let share = pick_share(pick, &spec.shares);
+    ProbePlan { id, isp, share, ordinal, net: share_nets[share], mover_target }
+}
+
 fn make_probe(
     seeds: &SeedTree,
     spec: &IspSpec,
-    share_nets: &[(usize, &crate::config::AccessShare)],
+    share: &crate::config::AccessShare,
+    net: usize,
     id: u32,
     ordinal: usize,
     mover_target: Option<(usize, SimTime)>,
 ) -> ProbeSim {
     let mut rng = seeds.rng_for_id("probe", u64::from(id));
 
-    // Pick an access share by weight.
-    let total_w: f64 = share_nets.iter().map(|(_, s)| s.weight).sum();
-    let mut pick = rng.gen::<f64>() * total_w;
-    let mut chosen = share_nets[share_nets.len() - 1];
-    for &(net, share) in share_nets {
-        if pick < share.weight {
-            chosen = (net, share);
-            break;
-        }
-        pick -= share.weight;
-    }
-    let (net, share) = chosen;
+    // Burn the share-pick draw the planning pass consumed (`plan_probe`).
+    let _ = rng.gen::<f64>();
 
     let schedule = share.schedule.and_then(|s: CpeSchedule| {
         if rng.gen::<f64>() < s.adoption {

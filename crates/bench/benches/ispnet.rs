@@ -29,7 +29,7 @@ fn bench_pool(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             let mut rng = ChaCha12Rng::seed_from_u64(1);
-            let mut pool = AddressPool::new(&pool_config(policy), &mut rng);
+            let mut pool = AddressPool::new(&pool_config(policy), 1);
             let mut prev = None;
             b.iter(|| {
                 let a = pool.allocate(&mut rng, ClientId(1), prev).expect("space");
@@ -51,7 +51,7 @@ fn bench_dhcp_outage_recovery(c: &mut Criterion) {
             || {
                 let mut rng = ChaCha12Rng::seed_from_u64(2);
                 let mut pool =
-                    AddressPool::new(&pool_config(AllocationPolicy::PreferPrevious), &mut rng);
+                    AddressPool::new(&pool_config(AllocationPolicy::PreferPrevious), 2);
                 let mut server = DhcpServer::new(DhcpConfig::default());
                 server.acquire(&mut pool, &mut rng, ClientId(1), SimTime(0));
                 (rng, pool, server)
@@ -72,7 +72,7 @@ fn bench_dhcp_outage_recovery(c: &mut Criterion) {
 fn bench_ppp_session_turnover(c: &mut Criterion) {
     c.bench_function("ppp_cap_expiry_renumber", |b| {
         let mut rng = ChaCha12Rng::seed_from_u64(3);
-        let mut pool = AddressPool::new(&pool_config(AllocationPolicy::RandomAny), &mut rng);
+        let mut pool = AddressPool::new(&pool_config(AllocationPolicy::RandomAny), 3);
         let mut server = PppServer::new(PppConfig {
             session_cap: Some(SimDuration::from_hours(24)),
             ..PppConfig::default()

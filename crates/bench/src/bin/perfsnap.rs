@@ -158,7 +158,8 @@ fn run_all(
     let mut results = Vec::new();
 
     // The simulate stage reports its total plus the instrumented sub-stage
-    // breakdown (event loop vs filler vs normalize), each best-of-iters.
+    // breakdown (world build vs event loop vs filler vs normalize), each
+    // best-of-iters.
     let mut sim_shards = 0usize;
     let mut sim_queue = QueueSnapshot {
         pushes: 0,
@@ -170,14 +171,15 @@ fn run_all(
     };
     {
         let mut best_total = f64::INFINITY;
-        let (mut best_ev, mut best_fill, mut best_norm) =
-            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let (mut best_build, mut best_ev, mut best_fill, mut best_norm) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
         for _ in 0..iters {
             let t0 = Instant::now();
             let (out, stats) = simulate_instrumented(world, None);
             let total = t0.elapsed().as_secs_f64() * 1e3;
             std::hint::black_box(out);
             best_total = best_total.min(total);
+            best_build = best_build.min(stats.world_build_s * 1e3);
             best_ev = best_ev.min(stats.event_loop_s * 1e3);
             best_fill = best_fill.min(stats.filler_s * 1e3);
             best_norm = best_norm.min(stats.normalize_s * 1e3);
@@ -192,6 +194,7 @@ fn run_all(
             };
         }
         results.push(("simulate", best_total));
+        results.push(("world_build", best_build));
         results.push(("sim_event_loop", best_ev));
         results.push(("sim_filler", best_fill));
         results.push(("sim_normalize", best_norm));

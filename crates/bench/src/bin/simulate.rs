@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   simulate --out DIR [--scale S] [--seed N] [--threads N]
-//!            [--format store|jsonl]
+//!            [--format store|jsonl] [--serial-build]
 //!
 //! Writes into DIR:
 //!   dataset.store                                             (the dataset)
@@ -16,18 +16,19 @@
 //! pipeline runs from the files alone, as it would on real scraped logs.
 
 use dynaddr_atlas::world::{paper_route_tables, paper_world};
-use dynaddr_atlas::{simulate, StoreFormat};
+use dynaddr_atlas::{simulate_with_options, SimOptions, StoreFormat};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-const USAGE: &str =
-    "usage: simulate --out DIR [--scale S] [--seed N] [--threads N] [--format store|jsonl]";
+const USAGE: &str = "usage: simulate --out DIR [--scale S] [--seed N] [--threads N] \
+                     [--format store|jsonl] [--serial-build]";
 
 fn main() {
     let mut scale = 0.1f64;
     let mut seed = 2015u64;
     let mut out: Option<PathBuf> = None;
     let mut format = StoreFormat::default();
+    let mut opts = SimOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -45,6 +46,9 @@ fn main() {
             "--threads" => dynaddr_exec::set_threads(Some(
                 args.next().expect("--threads value").parse().expect("numeric"),
             )),
+            // Reference mode: materialize all shards serially before the
+            // parallel map. Output must be byte-identical (CI diffs it).
+            "--serial-build" => opts.serial_build = true,
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!("{USAGE}");
@@ -59,7 +63,7 @@ fn main() {
 
     eprintln!("simulating paper world at scale {scale} (seed {seed})...");
     let world = paper_world(scale, seed);
-    let output = simulate(&world);
+    let output = simulate_with_options(&world, &opts);
     let snaps = paper_route_tables(&world);
 
     output.dataset.save_dir_format(&out_dir, format).expect("write dataset");

@@ -85,7 +85,7 @@ pub struct LeaseOutcome {
 ///         policy: AllocationPolicy::PreferPrevious,
 ///         background_occupancy: 0.5,
 ///     },
-///     &mut rng,
+///     1,
 /// );
 /// let mut server = DhcpServer::new(DhcpConfig::default());
 ///
@@ -278,14 +278,14 @@ mod tests {
     use rand_chacha::ChaCha12Rng;
 
     fn setup(churn: f64) -> (DhcpServer, AddressPool, ChaCha12Rng) {
-        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let rng = ChaCha12Rng::seed_from_u64(11);
         let pool = AddressPool::new(
             &PoolConfig {
                 prefixes: vec!["100.64.0.0/18".parse().unwrap()],
                 policy: AllocationPolicy::PreferPrevious,
                 background_occupancy: 0.5,
             },
-            &mut rng,
+            11,
         );
         let server = DhcpServer::new(DhcpConfig {
             lease: SimDuration::from_hours(6),
@@ -363,7 +363,7 @@ mod tests {
                     policy: AllocationPolicy::PreferPrevious,
                     background_occupancy: 0.5,
                 },
-                &mut rng,
+                seed,
             );
             let mut s = DhcpServer::new(DhcpConfig {
                 lease: SimDuration::from_hours(6),
@@ -402,7 +402,11 @@ mod tests {
     fn reset_all_survives_pool_migration() {
         let (mut s, mut pool, mut r) = setup(0.0);
         s.acquire(&mut pool, &mut r, ClientId(1), T0);
-        pool.migrate_prefixes(&mut r, &["198.18.0.0/19".parse().unwrap()], 0.2);
+        pool.migrate_prefixes(
+            std::sync::Arc::new(vec!["198.18.0.0/19".parse().unwrap()]),
+            0.2,
+            42,
+        );
         s.reset_all();
         let out = s.acquire(&mut pool, &mut r, ClientId(1), T0 + SimDuration::from_hours(1));
         assert!("198.18.0.0/19".parse::<dynaddr_types::Prefix>().unwrap().contains(out.addr));
@@ -414,7 +418,11 @@ mod tests {
         // without reset_all) must be handled gracefully.
         let (mut s, mut pool, mut r) = setup(0.0);
         s.acquire(&mut pool, &mut r, ClientId(1), T0);
-        pool.migrate_prefixes(&mut r, &["198.18.0.0/19".parse().unwrap()], 0.2);
+        pool.migrate_prefixes(
+            std::sync::Arc::new(vec!["198.18.0.0/19".parse().unwrap()]),
+            0.2,
+            42,
+        );
         let out = s.acquire(&mut pool, &mut r, ClientId(1), T0 + SimDuration::from_days(1));
         assert!(out.changed);
     }

@@ -6,13 +6,29 @@
 //! that decides how strongly a fresh allocation is attracted to the
 //! requester's *previous* prefix. That single knob reproduces the per-ISP
 //! spread in Table 7 (DTAG 24% cross-BGP vs Telecom Italia 85%).
+//!
+//! ## Implicit background occupancy
+//!
+//! The background load that makes "same address again by chance" rare is not
+//! stored as a bitmap. Instead, the *default* occupancy of flat index `i` is
+//! the pure function `unit_hash(pool_seed, i) < background_occupancy` — a
+//! splitmix-style keyed hash evaluated on demand. Only deviations from that
+//! default (our own allocations, released background addresses, background
+//! claims of previously-free addresses) live in a small override map touched
+//! on allocate/release. Construction is therefore O(prefixes) instead of
+//! O(addresses), no RNG is consumed, and pools far larger than the old
+//! 2^24-address bitmap ceiling are representable. A `#[cfg(test)]` eager
+//! bitmap oracle plus proptest equivalence pins the two representations to
+//! identical allocate/release/occupancy behaviour.
 
-use dynaddr_types::ip::Prefix;
+use dynaddr_types::ip::{ipv4_to_u32, Prefix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Identifier of an access-network client (one per CPE).
 #[derive(
@@ -45,7 +61,7 @@ pub enum AllocationPolicy {
 /// Static description of a pool.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PoolConfig {
-    /// The BGP-routed prefixes the pool allocates from.
+    /// The BGP-routed prefixes the pool allocates from (pairwise disjoint).
     pub prefixes: Vec<Prefix>,
     /// Allocation policy.
     pub policy: AllocationPolicy,
@@ -65,52 +81,92 @@ impl PoolConfig {
 /// A concrete pool instance with allocation state.
 ///
 /// Addresses are indexed `0..total`, flattened across the prefixes in order.
-/// Occupancy is a bitmap; background occupancy is modelled by marking a
-/// random subset occupied at construction (deterministic under the supplied
-/// RNG). The structure deliberately has no notion of time: lease/session
-/// lifetimes live in the DHCP/PPP layers above.
+/// Background occupancy is implicit — a keyed hash of the flat index against
+/// the occupancy fraction — and only indices whose real state deviates from
+/// that default (plus the holder map of *our* allocations) are stored. The
+/// structure deliberately has no notion of time: lease/session lifetimes
+/// live in the DHCP/PPP layers above.
 #[derive(Debug, Clone)]
 pub struct AddressPool {
-    prefixes: Vec<Prefix>,
+    prefixes: Arc<Vec<Prefix>>,
     /// Exclusive cumulative end index of each prefix in the flat space.
     cum_end: Vec<u64>,
-    occupied: Vec<bool>,
-    occupied_count: u64,
+    /// `(base address, prefix slot)` sorted by base, for O(log n) reverse
+    /// lookup of an address's prefix.
+    by_base: Vec<(u32, usize)>,
     policy: AllocationPolicy,
+    background_occupancy: f64,
+    /// Seed of the implicit background-occupancy function.
+    seed: u64,
+    /// Indices whose occupancy deviates from the background default.
+    overrides: HashMap<u64, bool>,
+    /// Occupancy count relative to the pure background state.
+    occupied_delta: i64,
+    /// Lazily counted background occupancy (an O(total) sweep on first use;
+    /// only accounting queries need it, never allocation).
+    bg_count: Cell<Option<u64>>,
     /// Current holder of each of *our* allocations (not background load).
     held: HashMap<ClientId, u64>,
 }
 
 impl AddressPool {
-    /// Builds a pool, seeding background occupancy from `rng`.
-    pub fn new<R: Rng + ?Sized>(config: &PoolConfig, rng: &mut R) -> AddressPool {
-        assert!(!config.prefixes.is_empty(), "pool needs at least one prefix");
+    /// Builds a pool whose background occupancy is derived from `seed`.
+    /// Construction is O(prefixes): no bitmap, no RNG sweep.
+    pub fn new(config: &PoolConfig, seed: u64) -> AddressPool {
+        AddressPool::from_parts(
+            Arc::new(config.prefixes.clone()),
+            config.policy,
+            config.background_occupancy,
+            seed,
+        )
+    }
+
+    /// Like [`AddressPool::new`], but shares an existing prefix list instead
+    /// of cloning one (the simulator hands the same `Arc` to every share-net
+    /// of an ISP).
+    pub fn from_parts(
+        prefixes: Arc<Vec<Prefix>>,
+        policy: AllocationPolicy,
+        background_occupancy: f64,
+        seed: u64,
+    ) -> AddressPool {
+        assert!(!prefixes.is_empty(), "pool needs at least one prefix");
         assert!(
-            (0.0..1.0).contains(&config.background_occupancy),
-            "background occupancy must be in [0,1): {}",
-            config.background_occupancy
+            (0.0..1.0).contains(&background_occupancy),
+            "background occupancy must be in [0,1): {background_occupancy}"
         );
-        let mut cum_end = Vec::with_capacity(config.prefixes.len());
+        let mut cum_end = Vec::with_capacity(prefixes.len());
         let mut total = 0u64;
-        for p in &config.prefixes {
+        for p in prefixes.iter() {
             total += p.size();
             cum_end.push(total);
         }
-        assert!(total <= 1 << 24, "pool too large to materialize: {total} addresses");
-        let mut occupied = vec![false; total as usize];
-        let mut occupied_count = 0u64;
-        for slot in occupied.iter_mut() {
-            if rng.gen::<f64>() < config.background_occupancy {
-                *slot = true;
-                occupied_count += 1;
-            }
+        let mut by_base: Vec<(u32, usize)> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(slot, p)| (ipv4_to_u32(p.base()), slot))
+            .collect();
+        by_base.sort_unstable();
+        for w in by_base.windows(2) {
+            let (base_a, slot_a) = w[0];
+            let (base_b, _) = w[1];
+            assert!(
+                u64::from(base_a) + prefixes[slot_a].size() <= u64::from(base_b),
+                "pool prefixes must be disjoint: {} overlaps {}",
+                prefixes[slot_a],
+                prefixes[w[1].1]
+            );
         }
         AddressPool {
-            prefixes: config.prefixes.clone(),
+            prefixes,
             cum_end,
-            occupied,
-            occupied_count,
-            policy: config.policy,
+            by_base,
+            policy,
+            background_occupancy,
+            seed,
+            overrides: HashMap::new(),
+            occupied_delta: 0,
+            bg_count: Cell::new(None),
             held: HashMap::new(),
         }
     }
@@ -121,8 +177,12 @@ impl AddressPool {
     }
 
     /// Number of currently free addresses.
+    ///
+    /// The first call sweeps the index space once to count the implicit
+    /// background load (cached afterwards); allocation never needs this.
     pub fn free_count(&self) -> u64 {
-        self.total() - self.occupied_count
+        let occupied = (self.background_count() as i64 + self.occupied_delta) as u64;
+        self.total() - occupied
     }
 
     /// The prefixes of the pool.
@@ -135,20 +195,43 @@ impl AddressPool {
         self.held.get(&client).map(|&i| self.index_to_addr(i))
     }
 
+    /// Whether the *background default* (ignoring overrides) occupies `i`.
+    fn background_occupied(&self, index: u64) -> bool {
+        unit_hash(self.seed, index) < self.background_occupancy
+    }
+
+    fn background_count(&self) -> u64 {
+        if let Some(n) = self.bg_count.get() {
+            return n;
+        }
+        let n = (0..self.total()).filter(|&i| self.background_occupied(i)).count() as u64;
+        self.bg_count.set(Some(n));
+        n
+    }
+
+    /// Whether flat index `i` is currently occupied (override, else default).
+    fn occupied(&self, index: u64) -> bool {
+        match self.overrides.get(&index) {
+            Some(&state) => state,
+            None => self.background_occupied(index),
+        }
+    }
+
     fn index_to_addr(&self, index: u64) -> Ipv4Addr {
         let slot = self.cum_end.partition_point(|&end| end <= index);
         let start = if slot == 0 { 0 } else { self.cum_end[slot - 1] };
         self.prefixes[slot].nth(index - start)
     }
 
+    /// Reverse lookup via the base-sorted prefix table — O(log prefixes)
+    /// rather than a linear scan on every release/renew.
     fn addr_to_index(&self, addr: Ipv4Addr) -> Option<u64> {
-        for (slot, p) in self.prefixes.iter().enumerate() {
-            if let Some(off) = p.index_of(addr) {
-                let start = if slot == 0 { 0 } else { self.cum_end[slot - 1] };
-                return Some(start + off);
-            }
-        }
-        None
+        let v = ipv4_to_u32(addr);
+        let cand = self.by_base.partition_point(|&(base, _)| base <= v);
+        let (_, slot) = *self.by_base.get(cand.checked_sub(1)?)?;
+        let off = self.prefixes[slot].index_of(addr)?;
+        let start = if slot == 0 { 0 } else { self.cum_end[slot - 1] };
+        Some(start + off)
     }
 
     /// The index range `[start, end)` of the prefix containing flat `index`.
@@ -160,9 +243,7 @@ impl AddressPool {
 
     /// Whether an address is currently free.
     pub fn is_free(&self, addr: Ipv4Addr) -> bool {
-        self.addr_to_index(addr)
-            .map(|i| !self.occupied[i as usize])
-            .unwrap_or(false)
+        self.addr_to_index(addr).map(|i| !self.occupied(i)).unwrap_or(false)
     }
 
     /// Marks an arbitrary free address in `[lo, hi)` occupied, returning its
@@ -172,7 +253,7 @@ impl AddressPool {
         debug_assert!(lo < hi);
         for _ in 0..64 {
             let i = rng.gen_range(lo..hi);
-            if !self.occupied[i as usize] {
+            if !self.occupied(i) {
                 self.occupy(i);
                 return Some(i);
             }
@@ -181,7 +262,7 @@ impl AddressPool {
         let start = rng.gen_range(0..span);
         for k in 0..span {
             let i = lo + (start + k) % span;
-            if !self.occupied[i as usize] {
+            if !self.occupied(i) {
                 self.occupy(i);
                 return Some(i);
             }
@@ -190,15 +271,24 @@ impl AddressPool {
     }
 
     fn occupy(&mut self, index: u64) {
-        debug_assert!(!self.occupied[index as usize]);
-        self.occupied[index as usize] = true;
-        self.occupied_count += 1;
+        debug_assert!(!self.occupied(index));
+        if self.background_occupied(index) {
+            // The override said "free"; dropping it restores the default.
+            self.overrides.remove(&index);
+        } else {
+            self.overrides.insert(index, true);
+        }
+        self.occupied_delta += 1;
     }
 
     fn vacate(&mut self, index: u64) {
-        debug_assert!(self.occupied[index as usize]);
-        self.occupied[index as usize] = false;
-        self.occupied_count -= 1;
+        debug_assert!(self.occupied(index));
+        if self.background_occupied(index) {
+            self.overrides.insert(index, false);
+        } else {
+            self.overrides.remove(&index);
+        }
+        self.occupied_delta -= 1;
     }
 
     /// Allocates an address for `client` according to the pool policy.
@@ -220,7 +310,7 @@ impl AddressPool {
 
         let chosen = match self.policy {
             AllocationPolicy::PreferPrevious => match prev_index {
-                Some(i) if !self.occupied[i as usize] => {
+                Some(i) if !self.occupied(i) => {
                     self.occupy(i);
                     Some(i)
                 }
@@ -252,7 +342,7 @@ impl AddressPool {
             "{client} already holds an address; release first"
         );
         match self.addr_to_index(addr) {
-            Some(i) if !self.occupied[i as usize] => {
+            Some(i) if !self.occupied(i) => {
                 self.occupy(i);
                 self.held.insert(client, i);
                 true
@@ -272,7 +362,7 @@ impl AddressPool {
     /// churn process that makes expired DHCP bindings unrecoverable).
     pub fn background_claim(&mut self, addr: Ipv4Addr) -> bool {
         match self.addr_to_index(addr) {
-            Some(i) if !self.occupied[i as usize] => {
+            Some(i) if !self.occupied(i) => {
                 self.occupy(i);
                 true
             }
@@ -281,21 +371,31 @@ impl AddressPool {
     }
 
     /// Replaces the pool's prefixes wholesale — administrative renumbering.
-    /// All held allocations and background occupancy are rebuilt; clients
-    /// must re-acquire addresses (and will land in the new space).
-    pub fn migrate_prefixes<R: Rng + ?Sized>(
+    /// All held allocations and overrides are discarded and the background
+    /// occupancy re-derived from `seed`; clients must re-acquire addresses
+    /// (and will land in the new space).
+    pub fn migrate_prefixes(
         &mut self,
-        rng: &mut R,
-        prefixes: &[Prefix],
+        prefixes: Arc<Vec<Prefix>>,
         background_occupancy: f64,
+        seed: u64,
     ) {
-        let config = PoolConfig {
-            prefixes: prefixes.to_vec(),
-            policy: self.policy,
-            background_occupancy,
-        };
-        *self = AddressPool::new(&config, rng);
+        *self = AddressPool::from_parts(prefixes, self.policy, background_occupancy, seed);
     }
+}
+
+/// Maps `(seed, index)` to a uniform f64 in `[0, 1)` — FNV/splitmix-style
+/// avalanche, so adjacent indices give unrelated values.
+fn unit_hash(seed: u64, index: u64) -> f64 {
+    let z = splitmix64(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -303,6 +403,8 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha12Rng;
+
+    const SEED: u64 = 7;
 
     fn p(s: &str) -> Prefix {
         s.parse().unwrap()
@@ -318,7 +420,7 @@ mod tests {
             policy,
             background_occupancy: occ,
         };
-        AddressPool::new(&config, &mut rng())
+        AddressPool::new(&config, SEED)
     }
 
     #[test]
@@ -440,10 +542,58 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "must be disjoint")]
+    fn overlapping_prefixes_rejected() {
+        pool(&["10.0.0.0/16", "10.0.4.0/24"], AllocationPolicy::RandomAny, 0.0);
+    }
+
+    #[test]
     fn background_occupancy_seeds_load() {
         let pool = pool(&["10.0.0.0/16"], AllocationPolicy::RandomAny, 0.6);
         let frac = 1.0 - pool.free_count() as f64 / pool.total() as f64;
         assert!((frac - 0.6).abs() < 0.02, "occupancy {frac}");
+    }
+
+    #[test]
+    fn background_occupancy_differs_across_seeds() {
+        let config = PoolConfig {
+            prefixes: vec![p("10.0.0.0/24")],
+            policy: AllocationPolicy::RandomAny,
+            background_occupancy: 0.5,
+        };
+        let a = AddressPool::new(&config, 1);
+        let b = AddressPool::new(&config, 2);
+        let pattern = |pool: &AddressPool| -> Vec<bool> {
+            (0..pool.total()).map(|i| pool.occupied(i)).collect()
+        };
+        assert_ne!(pattern(&a), pattern(&b), "seeds must decorrelate background load");
+        assert_eq!(pattern(&a), pattern(&AddressPool::new(&config, 1)), "same seed, same load");
+    }
+
+    #[test]
+    fn giant_pool_constructs_in_o_prefixes() {
+        // 2^26 addresses — far past the old bitmap ceiling. Construction and
+        // allocation must not sweep the space.
+        let mut pool = pool(&["8.0.0.0/6"], AllocationPolicy::RandomAny, 0.6);
+        assert_eq!(pool.total(), 1 << 26);
+        let mut r = rng();
+        let a = pool.allocate(&mut r, ClientId(1), None).unwrap();
+        assert!(p("8.0.0.0/6").contains(a));
+        assert!(!pool.is_free(a));
+        assert_eq!(pool.release(ClientId(1)), Some(a));
+    }
+
+    #[test]
+    fn free_count_tracks_allocations_exactly() {
+        let mut pool = pool(&["10.0.0.0/24", "10.1.0.0/25"], AllocationPolicy::RandomAny, 0.3);
+        let before = pool.free_count();
+        let mut r = rng();
+        let a = pool.allocate(&mut r, ClientId(1), None).unwrap();
+        assert_eq!(pool.free_count(), before - 1);
+        pool.background_claim(pool.address_of(ClientId(1)).map(|_| a).unwrap());
+        assert_eq!(pool.free_count(), before - 1, "occupied address cannot be re-claimed");
+        pool.release(ClientId(1));
+        assert_eq!(pool.free_count(), before);
     }
 
     #[test]
@@ -452,21 +602,309 @@ mod tests {
         let mut r = rng();
         let a = pool.allocate(&mut r, ClientId(1), None).unwrap();
         assert!(p("10.0.0.0/24").contains(a));
-        pool.migrate_prefixes(&mut r, &[p("172.16.0.0/24")], 0.0);
+        pool.migrate_prefixes(Arc::new(vec![p("172.16.0.0/24")]), 0.0, SEED ^ 1);
         assert_eq!(pool.address_of(ClientId(1)), None, "allocations reset");
         let b = pool.allocate(&mut r, ClientId(1), Some(a)).unwrap();
         assert!(p("172.16.0.0/24").contains(b));
+    }
+
+    #[test]
+    fn addr_to_index_agrees_with_linear_scan() {
+        // Prefix list deliberately not sorted by base.
+        let pool = pool(
+            &["100.96.0.0/20", "100.64.0.0/18", "100.80.0.0/21"],
+            AllocationPolicy::RandomAny,
+            0.0,
+        );
+        let linear = |addr: Ipv4Addr| -> Option<u64> {
+            let mut start = 0u64;
+            for pfx in pool.prefixes().iter() {
+                if let Some(off) = pfx.index_of(addr) {
+                    return Some(start + off);
+                }
+                start += pfx.size();
+            }
+            None
+        };
+        let mut probe_addrs: Vec<Ipv4Addr> = Vec::new();
+        for pfx in pool.prefixes().iter() {
+            probe_addrs.push(pfx.base());
+            probe_addrs.push(pfx.nth(pfx.size() - 1));
+            probe_addrs.push(pfx.nth(pfx.size() / 2));
+        }
+        probe_addrs.push("100.64.255.255".parse().unwrap());
+        probe_addrs.push("9.9.9.9".parse().unwrap());
+        probe_addrs.push("100.96.16.0".parse().unwrap()); // just past the /20
+        for addr in probe_addrs {
+            assert_eq!(pool.addr_to_index(addr), linear(addr), "{addr}");
+        }
+        // Round trip: every index maps to an address that maps back.
+        for i in [0u64, 1, 4_095, 4_096, 16_383, 16_384, 18_431] {
+            let addr = pool.index_to_addr(i);
+            assert_eq!(pool.addr_to_index(addr), Some(i), "index {i} via {addr}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod oracle {
+    //! An eager-bitmap mirror of [`AddressPool`]: identical allocation logic
+    //! over an explicit `Vec<bool>` seeded from the same background hash.
+    //! The proptests below drive both through the same operation sequences
+    //! and RNG streams and demand identical observable behaviour — pinning
+    //! the override bookkeeping to the materialized representation the pool
+    //! used before background occupancy became implicit.
+
+    use super::*;
+
+    pub struct EagerPool {
+        prefixes: Vec<Prefix>,
+        cum_end: Vec<u64>,
+        occupied: Vec<bool>,
+        policy: AllocationPolicy,
+        held: HashMap<ClientId, u64>,
+    }
+
+    impl EagerPool {
+        pub fn new(config: &PoolConfig, seed: u64) -> EagerPool {
+            let mut cum_end = Vec::new();
+            let mut total = 0u64;
+            for p in &config.prefixes {
+                total += p.size();
+                cum_end.push(total);
+            }
+            let occupied = (0..total)
+                .map(|i| unit_hash(seed, i) < config.background_occupancy)
+                .collect();
+            EagerPool {
+                prefixes: config.prefixes.clone(),
+                cum_end,
+                occupied,
+                policy: config.policy,
+                held: HashMap::new(),
+            }
+        }
+
+        fn total(&self) -> u64 {
+            *self.cum_end.last().unwrap()
+        }
+
+        pub fn free_count(&self) -> u64 {
+            self.occupied.iter().filter(|&&o| !o).count() as u64
+        }
+
+        fn index_to_addr(&self, index: u64) -> Ipv4Addr {
+            let slot = self.cum_end.partition_point(|&end| end <= index);
+            let start = if slot == 0 { 0 } else { self.cum_end[slot - 1] };
+            self.prefixes[slot].nth(index - start)
+        }
+
+        fn addr_to_index(&self, addr: Ipv4Addr) -> Option<u64> {
+            let mut start = 0u64;
+            for p in &self.prefixes {
+                if let Some(off) = p.index_of(addr) {
+                    return Some(start + off);
+                }
+                start += p.size();
+            }
+            None
+        }
+
+        fn prefix_range_of(&self, index: u64) -> (u64, u64) {
+            let slot = self.cum_end.partition_point(|&end| end <= index);
+            let start = if slot == 0 { 0 } else { self.cum_end[slot - 1] };
+            (start, self.cum_end[slot])
+        }
+
+        pub fn is_free(&self, addr: Ipv4Addr) -> bool {
+            self.addr_to_index(addr).map(|i| !self.occupied[i as usize]).unwrap_or(false)
+        }
+
+        fn take_free_in<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            lo: u64,
+            hi: u64,
+        ) -> Option<u64> {
+            for _ in 0..64 {
+                let i = rng.gen_range(lo..hi);
+                if !self.occupied[i as usize] {
+                    self.occupied[i as usize] = true;
+                    return Some(i);
+                }
+            }
+            let span = hi - lo;
+            let start = rng.gen_range(0..span);
+            for k in 0..span {
+                let i = lo + (start + k) % span;
+                if !self.occupied[i as usize] {
+                    self.occupied[i as usize] = true;
+                    return Some(i);
+                }
+            }
+            None
+        }
+
+        pub fn allocate<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            client: ClientId,
+            previous: Option<Ipv4Addr>,
+        ) -> Option<Ipv4Addr> {
+            let prev_index = previous.and_then(|a| self.addr_to_index(a));
+            let chosen = match self.policy {
+                AllocationPolicy::PreferPrevious => match prev_index {
+                    Some(i) if !self.occupied[i as usize] => {
+                        self.occupied[i as usize] = true;
+                        Some(i)
+                    }
+                    _ => self.take_free_in(rng, 0, self.total()),
+                },
+                AllocationPolicy::RandomAny => self.take_free_in(rng, 0, self.total()),
+                AllocationPolicy::SamePrefixBias(bias) => {
+                    let in_prev = prev_index
+                        .filter(|_| rng.gen::<f64>() < bias)
+                        .map(|i| self.prefix_range_of(i));
+                    match in_prev {
+                        Some((lo, hi)) => self
+                            .take_free_in(rng, lo, hi)
+                            .or_else(|| self.take_free_in(rng, 0, self.total())),
+                        None => self.take_free_in(rng, 0, self.total()),
+                    }
+                }
+            }?;
+            self.held.insert(client, chosen);
+            Some(self.index_to_addr(chosen))
+        }
+
+        pub fn claim_specific(&mut self, client: ClientId, addr: Ipv4Addr) -> bool {
+            match self.addr_to_index(addr) {
+                Some(i) if !self.occupied[i as usize] => {
+                    self.occupied[i as usize] = true;
+                    self.held.insert(client, i);
+                    true
+                }
+                _ => false,
+            }
+        }
+
+        pub fn release(&mut self, client: ClientId) -> Option<Ipv4Addr> {
+            let index = self.held.remove(&client)?;
+            self.occupied[index as usize] = false;
+            Some(self.index_to_addr(index))
+        }
+
+        pub fn background_claim(&mut self, addr: Ipv4Addr) -> bool {
+            match self.addr_to_index(addr) {
+                Some(i) if !self.occupied[i as usize] => {
+                    self.occupied[i as usize] = true;
+                    true
+                }
+                _ => false,
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod proptests {
+    use super::oracle::EagerPool;
     use super::*;
     use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha12Rng;
 
+    fn policy_from(code: u8) -> AllocationPolicy {
+        match code % 3 {
+            0 => AllocationPolicy::PreferPrevious,
+            1 => AllocationPolicy::RandomAny,
+            _ => AllocationPolicy::SamePrefixBias(0.7),
+        }
+    }
+
+    fn prefixes_from(code: u8) -> Vec<Prefix> {
+        let parse = |s: &str| s.parse().unwrap();
+        match code % 3 {
+            0 => vec![parse("10.0.0.0/24")],
+            1 => vec![parse("10.0.0.0/24"), parse("10.1.0.0/25")],
+            _ => vec![parse("100.96.0.0/26"), parse("10.0.0.0/25"), parse("10.1.0.0/24")],
+        }
+    }
+
     proptest! {
+        /// The lazy pool and the eager-bitmap oracle, driven by identical
+        /// RNG streams and operation sequences, return identical addresses
+        /// and report identical occupancy — across policies, occupancy
+        /// levels, and multi-prefix layouts.
+        #[test]
+        fn lazy_pool_equals_eager_bitmap(
+            seed in any::<u64>(),
+            pool_seed in any::<u64>(),
+            policy_code in 0u8..3,
+            prefix_code in 0u8..3,
+            occ_pct in 0u8..95,
+            ops in proptest::collection::vec((0u8..4, 0u64..5), 1..150),
+        ) {
+            let config = PoolConfig {
+                prefixes: prefixes_from(prefix_code),
+                policy: policy_from(policy_code),
+                background_occupancy: f64::from(occ_pct) / 100.0,
+            };
+            let mut lazy = AddressPool::new(&config, pool_seed);
+            let mut eager = EagerPool::new(&config, pool_seed);
+            let mut lazy_rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut eager_rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut last: HashMap<ClientId, Ipv4Addr> = HashMap::new();
+            let mut live: Vec<ClientId> = Vec::new();
+            for (op, client) in ops {
+                let client = ClientId(client);
+                match op {
+                    0 if !lazy.address_of(client).is_some() => {
+                        let prev = last.get(&client).copied();
+                        let a = lazy.allocate(&mut lazy_rng, client, prev);
+                        let b = eager.allocate(&mut eager_rng, client, prev);
+                        prop_assert_eq!(a, b, "allocate diverged");
+                        if let Some(addr) = a {
+                            last.insert(client, addr);
+                            live.push(client);
+                        }
+                    }
+                    1 => {
+                        let a = lazy.release(client);
+                        let b = eager.release(client);
+                        prop_assert_eq!(a, b, "release diverged");
+                        live.retain(|&c| c != client);
+                    }
+                    2 => {
+                        if let Some(&addr) = last.get(&client) {
+                            if lazy.address_of(client).is_none() {
+                                let a = lazy.claim_specific(client, addr);
+                                let b = eager.claim_specific(client, addr);
+                                prop_assert_eq!(a, b, "claim_specific diverged");
+                                if a {
+                                    live.push(client);
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(&addr) = last.get(&client) {
+                            let a = lazy.background_claim(addr);
+                            let b = eager.background_claim(addr);
+                            prop_assert_eq!(a, b, "background_claim diverged");
+                        }
+                    }
+                }
+                prop_assert_eq!(lazy.free_count(), eager.free_count(), "free_count diverged");
+                for c in &live {
+                    prop_assert_eq!(lazy.address_of(*c).map(|a| eager.is_free(a)), Some(false));
+                }
+                for addr in last.values() {
+                    prop_assert_eq!(lazy.is_free(*addr), eager.is_free(*addr), "is_free diverged");
+                }
+            }
+        }
+
         /// Free count plus our allocations plus background load always
         /// equals the pool total, across any interleaving of operations.
         #[test]
@@ -477,7 +915,7 @@ mod proptests {
                 policy: AllocationPolicy::RandomAny,
                 background_occupancy: 0.3,
             };
-            let mut pool = AddressPool::new(&config, &mut r);
+            let mut pool = AddressPool::new(&config, seed ^ 0xA5A5);
             let mut live: Vec<ClientId> = Vec::new();
             let mut next_id = 0u64;
             let mut released: Vec<Ipv4Addr> = Vec::new();

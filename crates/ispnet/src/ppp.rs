@@ -97,7 +97,7 @@ pub struct SessionOutcome {
 ///         policy: AllocationPolicy::RandomAny,
 ///         background_occupancy: 0.5,
 ///     },
-///     &mut rng,
+///     1,
 /// );
 /// // A DTAG-style 24-hour session cap.
 /// let mut server = PppServer::new(PppConfig {
@@ -326,14 +326,14 @@ mod tests {
     const T0: SimTime = SimTime(0);
 
     fn setup(config: PppConfig) -> (PppServer, AddressPool, ChaCha12Rng) {
-        let mut rng = ChaCha12Rng::seed_from_u64(23);
+        let rng = ChaCha12Rng::seed_from_u64(23);
         let pool = AddressPool::new(
             &PoolConfig {
                 prefixes: vec!["100.64.0.0/18".parse().unwrap()],
                 policy: AllocationPolicy::RandomAny,
                 background_occupancy: 0.6,
             },
-            &mut rng,
+            23,
         );
         (PppServer::new(config), pool, rng)
     }

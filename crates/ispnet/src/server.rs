@@ -19,6 +19,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Access-technology configuration for an ISP.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,14 +95,20 @@ pub struct IspNetwork {
 }
 
 impl IspNetwork {
-    /// Builds an ISP network; background occupancy is seeded from `rng`.
-    pub fn new<R: Rng + ?Sized>(
+    /// Builds an ISP network; background occupancy is the implicit function
+    /// of `pool_seed` (construction is O(prefixes), no RNG is consumed).
+    pub fn new(
         asn: Asn,
         pool_config: &PoolConfig,
         access: AccessConfig,
-        rng: &mut R,
+        pool_seed: u64,
     ) -> IspNetwork {
-        let pool = AddressPool::new(pool_config, rng);
+        IspNetwork::with_pool(asn, AddressPool::new(pool_config, pool_seed), access)
+    }
+
+    /// Builds an ISP network around an already-constructed pool (the
+    /// simulator builds pools from `Arc`-shared prefix lists per shard).
+    pub fn with_pool(asn: Asn, pool: AddressPool, access: AccessConfig) -> IspNetwork {
         let server = match &access {
             AccessConfig::Dhcp(c) => AccessServer::Dhcp(DhcpServer::new(c.clone())),
             AccessConfig::Ppp(c) => AccessServer::Ppp(PppServer::new(c.clone())),
@@ -267,14 +274,16 @@ impl IspNetwork {
 
     /// Administrative renumbering: the ISP migrates its dynamic pool to new
     /// prefixes. All bindings are forgotten; every client receives an
-    /// address from the new space at its next `connect`.
+    /// address from the new space at its next `connect`. The new background
+    /// load is seeded by one draw from `rng`.
     pub fn admin_renumber<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
-        new_prefixes: &[Prefix],
+        new_prefixes: Arc<Vec<Prefix>>,
         background_occupancy: f64,
     ) {
-        self.pool.migrate_prefixes(rng, new_prefixes, background_occupancy);
+        let seed = rng.gen::<u64>();
+        self.pool.migrate_prefixes(new_prefixes, background_occupancy, seed);
         match &mut self.server {
             AccessServer::Dhcp(s) => s.reset_all(),
             AccessServer::Ppp(s) => s.reset_all(),
@@ -301,18 +310,18 @@ mod tests {
     }
 
     fn dhcp_isp() -> (IspNetwork, ChaCha12Rng) {
-        let mut rng = ChaCha12Rng::seed_from_u64(31);
+        let rng = ChaCha12Rng::seed_from_u64(31);
         let isp = IspNetwork::new(
             Asn(6830),
             &pool_config(),
             AccessConfig::Dhcp(DhcpConfig::default()),
-            &mut rng,
+            31,
         );
         (isp, rng)
     }
 
     fn ppp_isp(cap_hours: i64) -> (IspNetwork, ChaCha12Rng) {
-        let mut rng = ChaCha12Rng::seed_from_u64(31);
+        let rng = ChaCha12Rng::seed_from_u64(31);
         let isp = IspNetwork::new(
             Asn(3320),
             &pool_config(),
@@ -320,7 +329,7 @@ mod tests {
                 session_cap: Some(SimDuration::from_hours(cap_hours)),
                 ..PppConfig::default()
             }),
-            &mut rng,
+            31,
         );
         (isp, rng)
     }
@@ -366,7 +375,7 @@ mod tests {
     fn admin_renumber_moves_all_clients() {
         let (mut isp, mut rng) = dhcp_isp();
         let before = isp.connect(&mut rng, ClientId(1), T0, None);
-        isp.admin_renumber(&mut rng, &["198.18.0.0/17".parse().unwrap()], 0.3);
+        isp.admin_renumber(&mut rng, Arc::new(vec!["198.18.0.0/17".parse().unwrap()]), 0.3);
         assert_eq!(isp.next_action(ClientId(1)), None);
         let after = isp.connect(&mut rng, ClientId(1), T0 + SimDuration::from_hours(1), None);
         // `changed` is relative to the server's (reset) memory; the caller
@@ -456,7 +465,7 @@ mod proptests {
                     ..DhcpConfig::default()
                 })
             };
-            let mut isp = IspNetwork::new(Asn(64500), &pool_config(), access, &mut rng);
+            let mut isp = IspNetwork::new(Asn(64500), &pool_config(), access, seed);
             let mut now = SimTime(0);
             // What each connected client was last told it holds.
             let mut held: std::collections::HashMap<ClientId, std::net::Ipv4Addr> =

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # CI gate: release build, full workspace tests, a perfsnap smoke run, a
-# store-vs-jsonl round-trip smoke, and the quickstart example.
+# store-vs-jsonl round-trip smoke, a shard-local-vs-serial world-build
+# smoke, and the quickstart example.
 #
 # The smoke run times the pipeline at a tiny scale (0.01) just to prove the
 # bench binary exits 0 and writes valid JSON — it is NOT a benchmark and its
@@ -25,6 +26,7 @@ cargo run --release -q -p dynaddr-bench --bin perfsnap -- \
 
 python3 -m json.tool "$SNAP" > /dev/null
 grep -q '"sim_queue"' "$SNAP"
+grep -q '"world_build"' "$SNAP"
 grep -q '"sim_event_loop"' "$SNAP"
 grep -q '"store_decode"' "$SNAP"
 grep -q '"dataset_bytes"' "$SNAP"
@@ -42,6 +44,17 @@ cargo run --release -q -p dynaddr-bench --bin analyze -- \
 cargo run --release -q -p dynaddr-bench --bin analyze -- \
     --data "$SMOKE/jsonl" --report "$SMOKE/jsonl.txt" > /dev/null
 diff "$SMOKE/store.txt" "$SMOKE/jsonl.txt"
+
+echo "==> build-mode smoke (scale 0.01, shard-local vs serial world build)"
+# Nets and probes are normally materialized inside the parallel shard map;
+# --serial-build materializes them up front on one thread. The two
+# construction orders must analyze to identical reports.
+cargo run --release -q -p dynaddr-bench --bin simulate -- \
+    --out "$SMOKE/serial" --scale 0.01 --seed 5 --serial-build
+test -f "$SMOKE/serial/dataset.store"
+cargo run --release -q -p dynaddr-bench --bin analyze -- \
+    --data "$SMOKE/serial" --report "$SMOKE/serial.txt" > /dev/null
+diff "$SMOKE/store.txt" "$SMOKE/serial.txt"
 
 echo "==> quickstart example smoke"
 cargo run --release -q --example quickstart > /dev/null

@@ -144,11 +144,45 @@ fn simulation_is_byte_identical_across_bucket_widths_and_splitting() {
         // The coarse pre-splitting layout (all share-nets of an ASN
         // unified) must produce the same bytes, with and without a cap.
         for cap in [None, Some(2)] {
-            let coarse = SimOptions { shard_cap: cap, unify_all_isps: true };
+            let coarse =
+                SimOptions { shard_cap: cap, unify_all_isps: true, ..SimOptions::default() };
             assert_eq!(
                 base,
                 sim_fingerprint_opts(Some(4), &coarse, seed),
                 "unify_all cap={cap:?} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_local_build_matches_serial_build_byte_for_byte() {
+    // Nets and probes are normally materialized *inside* the parallel shard
+    // map; `serial_build` materializes every shard up front on one thread.
+    // The two construction orders must not change a byte of the full
+    // `SimOutput`, at any worker count, under either unification layout.
+    for seed in [7u64, 23] {
+        let serial = SimOptions { serial_build: true, ..SimOptions::default() };
+        let base = sim_fingerprint_opts(Some(1), &serial, seed);
+        for threads in [Some(1), Some(2), Some(64), None] {
+            assert_eq!(
+                base,
+                sim_fingerprint_opts(threads, &SimOptions::default(), seed),
+                "shard-local build differs from serial build at threads={threads:?} seed={seed}"
+            );
+        }
+        for unify in [false, true] {
+            let opts = SimOptions { unify_all_isps: unify, ..SimOptions::default() };
+            let serial_opts = SimOptions { serial_build: true, ..opts };
+            assert_eq!(
+                sim_fingerprint_opts(Some(4), &serial_opts, seed),
+                sim_fingerprint_opts(Some(4), &opts, seed),
+                "serial vs shard-local build differs: unify_all_isps={unify} seed={seed}"
+            );
+            assert_eq!(
+                base,
+                sim_fingerprint_opts(Some(4), &opts, seed),
+                "layout changed output: unify_all_isps={unify} seed={seed}"
             );
         }
     }
