@@ -20,12 +20,23 @@ use crate::logs::{
     testing_address, ConnectionLogEntry, PeerAddr, ProbeMeta, SosUptimeRecord,
 };
 use crate::sim::SimOutput;
+use dynaddr_store::{SegmentSink, StoreError};
 use dynaddr_types::rng::SeedTree;
 use dynaddr_types::time::DAY;
 use dynaddr_types::{Country, ProbeId, ProbeTag, ProbeVersion, SimDuration, SimTime};
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use std::net::{Ipv4Addr, Ipv6Addr};
+use std::sync::Mutex;
+
+/// Populations at or below this many probes generate serially: executor
+/// dispatch and per-task buffers cost more than the generation itself
+/// (BENCH_pipeline.json showed `sim_filler` at 0.78× under threads at the
+/// 0.05-scale snapshot world, whose ~400 filler probes take only ~3 ms).
+const FILLER_SERIAL_CUTOFF: usize = 512;
+/// Probes per parallel task above the cutoff — large enough to amortize
+/// task setup, small enough to keep the executor's chunks balanced.
+const FILLER_JOB_CHUNK: usize = 64;
 
 /// Countries filler probes are registered in, with a European bias matching
 /// the real RIPE Atlas deployment.
@@ -61,6 +72,28 @@ pub fn generate_filler(config: &WorldConfig, out: &mut SimOutput) {
         .max()
         .unwrap_or(0)
         + 1;
+    let jobs = filler_jobs(config, next_id);
+    let seeds = SeedTree::new(config.seed);
+    // One task per probe made executor dispatch the dominant cost at bench
+    // scale: small populations generate serially, large ones in chunks of
+    // FILLER_JOB_CHUNK probes. Each probe still draws from its own
+    // `("filler", id)` stream, so the bytes are identical either way.
+    let pieces: Vec<SimPiece> = if jobs.len() <= FILLER_SERIAL_CUTOFF {
+        vec![generate_jobs(&seeds, &jobs)]
+    } else {
+        let chunks: Vec<&[(u32, FillerKind)]> = jobs.chunks(FILLER_JOB_CHUNK).collect();
+        dynaddr_exec::par_map(&chunks, |chunk| generate_jobs(&seeds, chunk))
+    };
+    for mut piece in pieces {
+        out.dataset.meta.append(&mut piece.meta);
+        out.dataset.connections.append(&mut piece.connections);
+        out.dataset.uptime.append(&mut piece.uptime);
+    }
+}
+
+/// Plans the filler population: one `(id, kind)` job per probe, ids
+/// ascending in category order starting at `next_id`.
+fn filler_jobs(config: &WorldConfig, next_id: u32) -> Vec<(u32, FillerKind)> {
     let f = &config.filler;
     let mut jobs: Vec<(u32, FillerKind)> = Vec::new();
     let mut id = next_id;
@@ -77,21 +110,49 @@ pub fn generate_filler(config: &WorldConfig, out: &mut SimOutput) {
     plan(f.tagged, &mut |i| FillerKind::Tagged { alternating: i < tagged_alternating });
     plan(f.alternating, &mut |_| FillerKind::Alternating);
     plan(f.testing_static, &mut |_| FillerKind::TestingStatic);
+    jobs
+}
 
-    let seeds = SeedTree::new(config.seed);
-    let pieces = dynaddr_exec::par_map(&jobs, |&(id, kind)| {
-        let mut gen = FillerGen {
-            rng: seeds.rng_for_id("filler", u64::from(id)),
-            piece: SimPiece::default(),
-        };
+/// Generates a slice of jobs into one piece, appending records in job
+/// order (ascending ids — the order [`generate_filler`] has always used).
+fn generate_jobs(seeds: &SeedTree, jobs: &[(u32, FillerKind)]) -> SimPiece {
+    let mut piece = SimPiece::default();
+    for &(id, kind) in jobs {
+        let mut gen = FillerGen { rng: seeds.rng_for_id("filler", u64::from(id)), piece };
         gen.generate(ProbeId(id), kind);
-        gen.piece
-    });
-    for mut piece in pieces {
-        out.dataset.meta.append(&mut piece.meta);
-        out.dataset.connections.append(&mut piece.connections);
-        out.dataset.uptime.append(&mut piece.uptime);
+        piece = gen.piece;
     }
+    piece
+}
+
+/// Streams the filler population straight into a [`SegmentSink`], one run
+/// per job chunk (runs `base_run..`), each run sorted with the canonical
+/// `normalize()` keys — the out-of-core counterpart of
+/// [`generate_filler`], producing the same probes byte for byte.
+pub(crate) fn generate_filler_to_sink(
+    config: &WorldConfig,
+    next_id: u32,
+    base_run: u64,
+    sink: &Mutex<SegmentSink>,
+) -> Result<(), StoreError> {
+    let jobs = filler_jobs(config, next_id);
+    let seeds = SeedTree::new(config.seed);
+    let chunks: Vec<(u64, &[(u32, FillerKind)])> = jobs
+        .chunks(FILLER_JOB_CHUNK)
+        .enumerate()
+        .map(|(i, chunk)| (base_run + i as u64, chunk))
+        .collect();
+    let results = dynaddr_exec::par_map(&chunks, |&(run, chunk)| {
+        let mut piece = generate_jobs(&seeds, chunk);
+        piece.meta.sort_by_key(|m| m.probe);
+        piece.connections.sort_by_key(|c| (c.probe, c.start, c.end));
+        piece.uptime.sort_by_key(|u| (u.probe, u.timestamp));
+        let mut sink = sink.lock().expect("filler sink lock");
+        sink.append(run, &piece.meta)
+            .and_then(|_| sink.append(run, &piece.connections))
+            .and_then(|_| sink.append(run, &piece.uptime))
+    });
+    results.into_iter().collect()
 }
 
 /// The log records one filler probe contributes.

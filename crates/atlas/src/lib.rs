@@ -34,6 +34,7 @@ pub mod logs;
 mod shard;
 pub mod sim;
 pub mod store;
+pub mod stream;
 pub mod truth;
 pub mod world;
 
@@ -43,8 +44,10 @@ pub use logs::{
     SosUptimeRecord, StoreFormat,
 };
 pub use sim::{
-    simulate, simulate_instrumented, simulate_instrumented_opts, simulate_with_options,
-    simulate_with_shard_cap, QueueTelemetry, SimOptions, SimOutput, SimStats,
+    simulate, simulate_instrumented, simulate_instrumented_opts, simulate_to_store,
+    simulate_with_options, simulate_with_shard_cap, QueueTelemetry, SimOptions, SimOutput,
+    SimStats,
 };
+pub use stream::DatasetStream;
 pub use truth::{ChangeCause, GroundTruth, TruthOutage, TruthOutageKind};
 pub use world::{paper_route_tables, paper_world};

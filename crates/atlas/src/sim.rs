@@ -68,12 +68,13 @@ use dynaddr_types::time::DAY;
 use dynaddr_types::{
     Asn, Country, Prefix, ProbeId, ProbeTag, ProbeVersion, SimDuration, SimTime,
 };
+use dynaddr_store::{SegmentSink, StoreError, StreamWriter};
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// k-root built-in measurement cadence: every four minutes (§3.4).
@@ -281,6 +282,128 @@ pub fn simulate_instrumented_opts(
     )
 }
 
+/// Runs the simulation out-of-core, writing `dataset.store` at `out_path`.
+///
+/// Each shard sorts its finished rows with the canonical `normalize()`
+/// keys and appends them to a [`SegmentSink`] run as it completes (filler
+/// chunks become further runs); the sink's key-ordered merge then streams
+/// the file through a [`StreamWriter`]. Because probes are partitioned
+/// across shards, merging sorted shard runs by key reproduces the global
+/// stable sort exactly — the file is byte-identical to
+/// `simulate_with_options(config, opts).dataset.to_store_bytes()`, but the
+/// full dataset never materializes: peak memory is the largest live shard
+/// plus one decoded segment per run, not the dataset.
+///
+/// Returns the normalized ground truth and stats; on this path
+/// [`SimStats::normalize_s`] times the k-way merge that replaces the
+/// global sort, and [`SimStats::event_loop_s`] includes the per-shard
+/// sort-and-encode work.
+pub fn simulate_to_store(
+    config: &WorldConfig,
+    opts: &SimOptions,
+    out_path: &std::path::Path,
+) -> Result<(GroundTruth, SimStats), StoreError> {
+    let t0 = Instant::now();
+    let mut world = World::build(config);
+    let base_truth = std::mem::take(&mut world.truth);
+    let admin = world.admin.clone();
+    let mut shards = world.into_shards(opts);
+    let n_shards = shards.len();
+    let plan_s = t0.elapsed().as_secs_f64();
+    let mut serial_build_s = 0.0;
+    if opts.serial_build {
+        for shard in &mut shards {
+            serial_build_s += shard.materialize();
+        }
+    }
+    let spill_path = out_path.with_extension("spill");
+    let sink = Mutex::new(SegmentSink::create(&spill_path)?);
+    // The fold must stay infallible for par_fold, so the first append
+    // failure parks here and the remaining shards skip their appends.
+    let sink_err: Mutex<Option<StoreError>> = Mutex::new(None);
+    let fail = |e: StoreError| -> StoreError {
+        let _ = std::fs::remove_file(&spill_path);
+        e
+    };
+
+    let t_loop = Instant::now();
+    let runs: Vec<(u64, Sim)> =
+        shards.into_iter().enumerate().map(|(i, s)| (i as u64, s)).collect();
+    let (truth, queue, shard_build_s, max_id) = dynaddr_exec::par_fold(
+        runs,
+        || (GroundTruth::default(), QueueTelemetry::default(), 0.0f64, 0u32),
+        |(acc, tel, build_s, max_id), (run, mut shard)| {
+            let b = shard.run();
+            let q = shard.queue.stats();
+            let mut ds = shard.dataset;
+            // Shard-local canonical sort: same keys, same stability as
+            // AtlasDataset::normalize, restricted to this shard's probes.
+            ds.meta.sort_by_key(|m| m.probe);
+            ds.connections.sort_by_key(|c| (c.probe, c.start, c.end));
+            ds.kroot.sort_by_key(|k| (k.probe, k.timestamp));
+            ds.uptime.sort_by_key(|u| (u.probe, u.timestamp));
+            let shard_max = ds.meta.iter().map(|m| m.probe.0).max().unwrap_or(0);
+            let appended = {
+                let mut sink = sink.lock().expect("sink lock");
+                sink.append(run, &ds.meta)
+                    .and_then(|_| sink.append(run, &ds.connections))
+                    .and_then(|_| sink.append(run, &ds.kroot))
+                    .and_then(|_| sink.append(run, &ds.uptime))
+            };
+            if let Err(e) = appended {
+                sink_err.lock().expect("sink error lock").get_or_insert(e);
+            }
+            (merge_truths(acc, shard.truth), tel.absorb(q), build_s + b, max_id.max(shard_max))
+        },
+        |(a, ta, ba, ma), (b, tb, bb, mb)| (merge_truths(a, b), ta.merge(tb), ba + bb, ma.max(mb)),
+    );
+    if let Some(e) = sink_err.into_inner().expect("sink error lock") {
+        return Err(fail(e));
+    }
+    let mut truth = truth;
+    truth.isp_policies = base_truth.isp_policies;
+    truth.firmware_dates = base_truth.firmware_dates;
+    if n_shards == 0 {
+        if let Some((asn, when, _)) = admin {
+            if when < SimTime::YEAR_END {
+                truth.admin_renumbering = Some((asn, when));
+            }
+        }
+    }
+    let world_build_s = plan_s + serial_build_s + shard_build_s;
+    let event_loop_s = (t_loop.elapsed().as_secs_f64() - shard_build_s).max(0.0);
+
+    let t1 = Instant::now();
+    crate::fill::generate_filler_to_sink(config, max_id + 1, n_shards as u64, &sink)
+        .map_err(&fail)?;
+    let filler_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let merged: Result<(), StoreError> = (|| {
+        let mut merger = sink.into_inner().expect("sink lock").finish()?;
+        let file = std::fs::File::create(out_path)
+            .map_err(|e| StoreError::io(format!("create {}", out_path.display()), e))?;
+        let mut out = std::io::BufWriter::new(file);
+        let mut w = StreamWriter::new(&mut out)?;
+        merger.merge_table::<ProbeMeta, _>(&mut w)?;
+        merger.merge_table::<ConnectionLogEntry, _>(&mut w)?;
+        merger.merge_table::<KrootPingRecord, _>(&mut w)?;
+        merger.merge_table::<SosUptimeRecord, _>(&mut w)?;
+        w.finish()?;
+        use std::io::Write as _;
+        out.flush()
+            .map_err(|e| StoreError::io(format!("flush {}", out_path.display()), e))
+    })();
+    let _ = std::fs::remove_file(&spill_path);
+    merged?;
+    truth.normalize();
+    let normalize_s = t2.elapsed().as_secs_f64();
+    Ok((
+        truth,
+        SimStats { shards: n_shards, world_build_s, event_loop_s, filler_s, normalize_s, queue },
+    ))
+}
+
 fn empty_output() -> SimOutput {
     SimOutput { dataset: AtlasDataset::default(), truth: GroundTruth::default() }
 }
@@ -289,18 +412,26 @@ fn empty_output() -> SimOutput {
 /// [`empty_output`] as identity — exactly what `par_fold` needs — and order
 /// differences between shard layouts are erased by the canonical
 /// `normalize` sorts afterwards.
-fn merge_outputs(mut a: SimOutput, mut b: SimOutput) -> SimOutput {
-    a.dataset.meta.append(&mut b.dataset.meta);
-    a.dataset.connections.append(&mut b.dataset.connections);
-    a.dataset.kroot.append(&mut b.dataset.kroot);
-    a.dataset.uptime.append(&mut b.dataset.uptime);
-    a.truth.changes.append(&mut b.truth.changes);
-    a.truth.outages.append(&mut b.truth.outages);
-    a.truth.firmware_reboots.append(&mut b.truth.firmware_reboots);
-    a.truth.isp_policies.append(&mut b.truth.isp_policies);
-    a.truth.admin_renumbering = a.truth.admin_renumbering.or(b.truth.admin_renumbering);
-    if a.truth.firmware_dates.is_empty() {
-        a.truth.firmware_dates = std::mem::take(&mut b.truth.firmware_dates);
+fn merge_outputs(mut a: SimOutput, b: SimOutput) -> SimOutput {
+    let mut bd = b.dataset;
+    a.dataset.meta.append(&mut bd.meta);
+    a.dataset.connections.append(&mut bd.connections);
+    a.dataset.kroot.append(&mut bd.kroot);
+    a.dataset.uptime.append(&mut bd.uptime);
+    a.truth = merge_truths(a.truth, b.truth);
+    a
+}
+
+/// The ground-truth half of [`merge_outputs`], shared with the streamed
+/// path (which never materializes the merged dataset).
+fn merge_truths(mut a: GroundTruth, mut b: GroundTruth) -> GroundTruth {
+    a.changes.append(&mut b.changes);
+    a.outages.append(&mut b.outages);
+    a.firmware_reboots.append(&mut b.firmware_reboots);
+    a.isp_policies.append(&mut b.isp_policies);
+    a.admin_renumbering = a.admin_renumbering.or(b.admin_renumbering);
+    if a.firmware_dates.is_empty() {
+        a.firmware_dates = std::mem::take(&mut b.firmware_dates);
     }
     a
 }

@@ -1,0 +1,202 @@
+//! Batched, out-of-core reading of a `dataset.store` file.
+//!
+//! [`DatasetStream`] walks a store file on disk and yields a sequence of
+//! small [`AtlasDataset`]s, each holding a contiguous range of whole
+//! probes — every row of a probe is in exactly one batch, so any per-probe
+//! computation (filtering, outage detection) sees the same inputs it would
+//! see on the materialized dataset. Peak memory is one batch plus one
+//! decoded segment per table, never the file.
+//!
+//! Batch boundaries are driven by the meta table (one row per probe in a
+//! normalized file): a batch takes the next `batch_probes` meta rows, then
+//! drains each log table through the last included probe id. Rows inside
+//! a store file are already in canonical `normalize()` order, so each
+//! batch is born normalized (the constructor's `normalize()` call only
+//! rebuilds the per-probe range index).
+
+use crate::logs::{
+    AtlasDataset, ConnectionLogEntry, KrootPingRecord, ProbeMeta, SosUptimeRecord,
+};
+use dynaddr_store::{ColumnarRecord, SegmentFileReader, SegmentInfo, StoreError};
+use std::path::Path;
+
+/// Default probes per batch: large enough that per-batch overhead
+/// (index rebuild, executor dispatch) is noise, small enough that a batch
+/// of the heaviest table stays a few megabytes.
+pub const DEFAULT_BATCH_PROBES: usize = 512;
+
+/// Sequential cursor over one table's segments in a store file.
+struct TableCursor<R> {
+    /// This table's segments in file order, with their within-table
+    /// ordinals (for error naming).
+    segs: Vec<(usize, SegmentInfo)>,
+    next: usize,
+    /// Decoded rows of the current segment not yet handed out.
+    buf: Vec<R>,
+}
+
+impl<R: ColumnarRecord> TableCursor<R> {
+    fn new(reader: &SegmentFileReader) -> TableCursor<R> {
+        let segs = reader
+            .segments()
+            .iter()
+            .filter(|e| e.table == R::TABLE_ID)
+            .copied()
+            .enumerate()
+            .collect();
+        TableCursor { segs, next: 0, buf: Vec::new() }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.buf.is_empty() && self.next == self.segs.len()
+    }
+
+    /// Takes up to `n` rows, decoding segments as needed.
+    fn take_count(
+        &mut self,
+        reader: &mut SegmentFileReader,
+        n: usize,
+    ) -> Result<Vec<R>, StoreError> {
+        let mut out = Vec::new();
+        while out.len() < n {
+            if self.buf.is_empty() {
+                let Some(&(idx, info)) = self.segs.get(self.next) else { break };
+                self.buf = reader.read_segment::<R>(idx, info)?;
+                self.next += 1;
+            }
+            let take = (n - out.len()).min(self.buf.len());
+            out.extend(self.buf.drain(..take));
+        }
+        Ok(out)
+    }
+
+    /// Takes every remaining row with key ≤ `hi` (rows are key-sorted, so
+    /// this is a prefix; segments whose `key_lo` exceeds `hi` stay on
+    /// disk untouched).
+    fn take_through(
+        &mut self,
+        reader: &mut SegmentFileReader,
+        hi: u32,
+    ) -> Result<Vec<R>, StoreError> {
+        let mut out = Vec::new();
+        loop {
+            if self.buf.is_empty() {
+                let Some(&(idx, info)) = self.segs.get(self.next) else { break };
+                if info.key_lo > hi {
+                    break;
+                }
+                self.buf = reader.read_segment::<R>(idx, info)?;
+                self.next += 1;
+            }
+            let take = self.buf.partition_point(|r| r.key() <= hi);
+            out.extend(self.buf.drain(..take));
+            if !self.buf.is_empty() {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Streams a `dataset.store` file as a sequence of whole-probe batches.
+pub struct DatasetStream {
+    reader: SegmentFileReader,
+    meta: TableCursor<ProbeMeta>,
+    connections: TableCursor<ConnectionLogEntry>,
+    kroot: TableCursor<KrootPingRecord>,
+    uptime: TableCursor<SosUptimeRecord>,
+    batch_probes: usize,
+}
+
+impl DatasetStream {
+    /// Opens a store file for streaming with [`DEFAULT_BATCH_PROBES`]
+    /// probes per batch. Only the footer index is read here.
+    pub fn open(path: &Path) -> Result<DatasetStream, StoreError> {
+        DatasetStream::with_batch_probes(path, DEFAULT_BATCH_PROBES)
+    }
+
+    /// [`DatasetStream::open`] with an explicit batch size (clamped to at
+    /// least 1 probe).
+    pub fn with_batch_probes(path: &Path, batch_probes: usize) -> Result<DatasetStream, StoreError> {
+        let reader = SegmentFileReader::open(path)?;
+        Ok(DatasetStream {
+            meta: TableCursor::new(&reader),
+            connections: TableCursor::new(&reader),
+            kroot: TableCursor::new(&reader),
+            uptime: TableCursor::new(&reader),
+            reader,
+            batch_probes,
+        })
+    }
+
+    /// Probes (meta rows) the file's index records, available before any
+    /// batch is decoded.
+    pub fn total_probes(&self) -> u64 {
+        self.reader.table_rows(ProbeMeta::TABLE_ID)
+    }
+
+    /// Decodes and returns the next batch of whole probes, `None` once
+    /// every table is drained. Each batch is normalized and indexed, so
+    /// `connections_of`/`kroot_of`/`uptime_of` work as on the full
+    /// dataset (restricted to the batch's probes).
+    pub fn next_batch(&mut self) -> Result<Option<AtlasDataset>, StoreError> {
+        let meta = self.meta.take_count(&mut self.reader, self.batch_probes)?;
+        // Rows beyond the last meta'd probe can only exist in a file not
+        // produced by the simulator; u32::MAX drains such stragglers into
+        // the final batch rather than losing them.
+        let hi = if self.meta.exhausted() {
+            u32::MAX
+        } else {
+            meta.last().expect("cursor not exhausted, batch_probes >= 1").probe.0
+        };
+        let connections = self.connections.take_through(&mut self.reader, hi)?;
+        let kroot = self.kroot.take_through(&mut self.reader, hi)?;
+        let uptime = self.uptime.take_through(&mut self.reader, hi)?;
+        if meta.is_empty() && connections.is_empty() && kroot.is_empty() && uptime.is_empty() {
+            return Ok(None);
+        }
+        let mut batch =
+            AtlasDataset { meta, connections, kroot, uptime, ..AtlasDataset::default() };
+        batch.normalize();
+        Ok(Some(batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::paper_world;
+    use crate::{simulate, SimOptions};
+
+    #[test]
+    fn batches_reassemble_the_dataset_at_any_batch_size() {
+        let out = simulate(&paper_world(0.01, 3));
+        let dir = std::env::temp_dir().join("dynaddr-stream-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reassemble.store");
+        crate::sim::simulate_to_store(&paper_world(0.01, 3), &SimOptions::default(), &path)
+            .unwrap();
+
+        for batch_probes in [1usize, 7, 64, 100_000] {
+            let mut stream = DatasetStream::with_batch_probes(&path, batch_probes).unwrap();
+            assert_eq!(stream.total_probes(), out.dataset.meta.len() as u64);
+            let mut rebuilt = AtlasDataset::default();
+            let mut last_hi: Option<u32> = None;
+            while let Some(batch) = stream.next_batch().unwrap() {
+                // Whole probes, in ascending order, never split.
+                let lo = batch.meta.first().unwrap().probe.0;
+                if let Some(prev) = last_hi {
+                    assert!(lo > prev, "batch overlaps its predecessor");
+                }
+                last_hi = Some(batch.meta.last().unwrap().probe.0);
+                rebuilt.meta.extend(batch.meta.iter().cloned());
+                rebuilt.connections.extend(batch.connections.iter().cloned());
+                rebuilt.kroot.extend(batch.kroot.iter().cloned());
+                rebuilt.uptime.extend(batch.uptime.iter().cloned());
+            }
+            rebuilt.normalize();
+            assert_eq!(rebuilt, out.dataset, "batch_probes={batch_probes}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

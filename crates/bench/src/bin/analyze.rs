@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   analyze --data DIR [--report FILE] [--json FILE] [--threads N]
-//!           [--format store|jsonl] [--recover]
+//!           [--format store|jsonl] [--recover] [--streamed]
 //!
 //! DIR must contain the dataset (a `dataset.store` file or the legacy four
 //! `.jsonl` log files — auto-detected by magic bytes, or forced with
@@ -12,16 +12,24 @@
 //! segments instead of aborting, reporting what was dropped on stderr.
 //! Prints the full text report to stdout; `--report` also writes it to a
 //! file, `--json` dumps the structured `AnalysisReport`.
+//!
+//! `--streamed` runs the out-of-core pipeline straight off the
+//! `dataset.store` file (store format only): batches of whole probes are
+//! decoded, classified, and dropped, so peak memory stays near the
+//! retained analyzable probes instead of the dataset. The report is
+//! byte-identical to the materialized path's. Either way the process's
+//! peak RSS is printed to stderr on exit (`peak_rss_bytes: N`) so CI can
+//! assert a memory ceiling.
 
 use dynaddr_atlas::logs::{AtlasDataset, StoreFormat};
-use dynaddr_core::pipeline::{analyze, AnalysisConfig};
+use dynaddr_core::pipeline::{analyze, analyze_streamed, AnalysisConfig, AnalysisReport};
 use dynaddr_core::report::render_full;
 use dynaddr_ip2as::MonthlySnapshots;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: analyze --data DIR [--report FILE] [--json FILE] [--threads N] \
-                     [--format store|jsonl] [--recover]";
+                     [--format store|jsonl] [--recover] [--streamed]";
 
 fn main() {
     let mut data: Option<PathBuf> = None;
@@ -29,10 +37,12 @@ fn main() {
     let mut json_file: Option<PathBuf> = None;
     let mut format: Option<StoreFormat> = None;
     let mut recover = false;
+    let mut streamed = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--data" => data = Some(PathBuf::from(args.next().expect("--data dir"))),
+            "--streamed" => streamed = true,
             "--report" => report_file = Some(PathBuf::from(args.next().expect("--report file"))),
             "--json" => json_file = Some(PathBuf::from(args.next().expect("--json file"))),
             "--format" => {
@@ -59,21 +69,6 @@ fn main() {
         std::process::exit(2);
     };
 
-    eprintln!("loading dataset from {}...", dir.display());
-    let load_result = match (format, recover) {
-        (Some(f), false) => AtlasDataset::load_dir_as(&dir, f),
-        (None, false) => AtlasDataset::load_dir(&dir),
-        (_, true) => AtlasDataset::load_dir_recover(&dir).map(|(ds, report)| {
-            if !report.is_clean() {
-                eprintln!("recover: {report}");
-            }
-            ds
-        }),
-    };
-    let dataset = load_result.unwrap_or_else(|e| {
-        eprintln!("failed to load dataset: {e}");
-        std::process::exit(1);
-    });
     let snaps = MonthlySnapshots::load_dir(&dir.join("ip2as")).unwrap_or_else(|e| {
         eprintln!("failed to load ip2as snapshots: {e}");
         std::process::exit(1);
@@ -91,12 +86,43 @@ fn main() {
         }
     }
 
-    eprintln!(
-        "analyzing {} probes / {} connection entries...",
-        dataset.meta.len(),
-        dataset.connections.len()
-    );
-    let report = analyze(&dataset, &snaps, &cfg);
+    let report: AnalysisReport = if streamed {
+        // Out-of-core: batches stream off dataset.store, the dataset is
+        // never materialized. Recovery and jsonl loading need the batch
+        // loader — reject the combination instead of quietly ignoring it.
+        if recover || matches!(format, Some(StoreFormat::Jsonl)) {
+            eprintln!("--streamed reads a dataset.store file only (no --recover/--format jsonl)");
+            std::process::exit(2);
+        }
+        let store_path = dir.join("dataset.store");
+        eprintln!("streaming {}...", store_path.display());
+        analyze_streamed(&store_path, &snaps, &cfg).unwrap_or_else(|e| {
+            eprintln!("streamed analyze failed: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        eprintln!("loading dataset from {}...", dir.display());
+        let load_result = match (format, recover) {
+            (Some(f), false) => AtlasDataset::load_dir_as(&dir, f),
+            (None, false) => AtlasDataset::load_dir(&dir),
+            (_, true) => AtlasDataset::load_dir_recover(&dir).map(|(ds, report)| {
+                if !report.is_clean() {
+                    eprintln!("recover: {report}");
+                }
+                ds
+            }),
+        };
+        let dataset = load_result.unwrap_or_else(|e| {
+            eprintln!("failed to load dataset: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "analyzing {} probes / {} connection entries...",
+            dataset.meta.len(),
+            dataset.connections.len()
+        );
+        analyze(&dataset, &snaps, &cfg)
+    };
     let text = render_full(&report, &cfg.as_names);
     println!("{text}");
     if let Some(path) = report_file {
@@ -108,4 +134,6 @@ fn main() {
             .expect("write json");
         eprintln!("wrote {}", path.display());
     }
+    // Machine-readable memory footprint (CI asserts a ceiling on it).
+    eprintln!("peak_rss_bytes: {}", dynaddr_bench::peak_rss_bytes());
 }

@@ -1,7 +1,8 @@
 //! `perfsnap` — committed performance snapshot for the parallel pipeline.
 //!
 //! Usage:
-//!   perfsnap [--scale S] [--seed N] [--iters K] [--out FILE]
+//!   perfsnap [--scale S | --tier NAME] [--seed N] [--iters K] [--out FILE]
+//!            [--tiers LIST]
 //!
 //! Times the simulator and each pipeline stage at the default
 //! `paper_world(0.05, 11)` twice — once pinned to one thread, once at the
@@ -9,16 +10,25 @@
 //! `BENCH_pipeline.json` at the repository root (best of K iterations per
 //! cell). The snapshot records whatever the build machine offers; speedups
 //! are only meaningful when `max_threads > 1`.
+//!
+//! It then climbs the streamed scale ladder: for each named tier in
+//! `--tiers` (comma-separated, default `s005,s02,paper`, `none` to skip)
+//! it re-executes itself in a child process that runs the out-of-core
+//! pipeline end-to-end (`simulate_to_store` → `analyze_streamed`) and
+//! reports throughput and peak RSS. One process per tier because the RSS
+//! high-water mark is process-wide and monotone — in-process tiers would
+//! inherit their predecessors' peaks.
 
 use dynaddr_atlas::world::{paper_route_tables, paper_world};
-use dynaddr_atlas::{simulate, simulate_instrumented, SimOutput};
+use dynaddr_atlas::{simulate, simulate_instrumented, simulate_to_store, SimOptions, SimOutput};
+use dynaddr_bench::{peak_rss_bytes, tier_scale, TIER_NAMES};
 use dynaddr_core::filtering::filter_probes;
 use dynaddr_core::geo::continent_distributions;
 use dynaddr_core::periodic::{table5, PeriodicConfig};
-use dynaddr_core::pipeline::{analyze, outage_analysis};
+use dynaddr_core::pipeline::{analyze, analyze_streamed, outage_analysis, AnalysisConfig};
 use dynaddr_core::prefixes::prefix_changes;
 use dynaddr_ip2as::MonthlySnapshots;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -57,9 +67,28 @@ struct DiskSizes {
     store_over_jsonl: f64,
 }
 
+/// End-to-end streamed run of one named tier, measured in its own process.
+#[derive(Serialize, Deserialize)]
+struct TierResult {
+    tier: String,
+    scale: f64,
+    /// Probes the tier's world produced.
+    probes: u64,
+    /// Wall seconds for `simulate_to_store` (shards stream to disk).
+    simulate_s: f64,
+    /// Wall seconds for `analyze_streamed` off the store file.
+    analyze_s: f64,
+    /// probes / (simulate_s + analyze_s): end-to-end pipeline throughput.
+    probes_per_sec: f64,
+    /// The tier process's peak RSS in bytes (VmHWM; 0 off-Linux).
+    peak_rss_bytes: u64,
+}
+
 #[derive(Serialize)]
 struct Snapshot {
     scale: f64,
+    /// Named tier `--tier` selected ("" when `--scale` was given).
+    tier: String,
     seed: u64,
     iters: usize,
     /// Cores the build host offered — the snapshot's thread-max runs used
@@ -71,24 +100,114 @@ struct Snapshot {
     sim_queue: QueueSnapshot,
     /// On-disk size of the dataset in each format (thread-independent).
     dataset_bytes: DiskSizes,
+    /// Peak RSS of the snapshot process itself (all materialized stage
+    /// timings included; bytes, 0 off-Linux).
+    peak_rss_bytes: u64,
     stages: Vec<StageTiming>,
+    /// The streamed scale ladder, one isolated process per tier.
+    tiers: Vec<TierResult>,
+}
+
+/// `--tier-child NAME SEED` mode: run one tier's streamed pipeline
+/// end-to-end and print its `TierResult` as JSON on stdout. Runs in a
+/// fresh process so `peak_rss_bytes` reflects this tier alone.
+fn run_tier_child(name: &str, seed: u64) -> ! {
+    let scale = tier_scale(name).unwrap_or_else(|| {
+        eprintln!("unknown tier {name:?} (want one of {})", TIER_NAMES.join(", "));
+        std::process::exit(2);
+    });
+    let world = paper_world(scale, seed);
+    let snaps = paper_route_tables(&world);
+    let dir = std::env::temp_dir().join(format!("dynaddr-perfsnap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join("dataset.store");
+
+    let t0 = Instant::now();
+    simulate_to_store(&world, &SimOptions::default(), &path).expect("streamed simulate");
+    let simulate_s = t0.elapsed().as_secs_f64();
+
+    let probes = dynaddr_atlas::DatasetStream::open(&path)
+        .expect("reopen store")
+        .total_probes();
+    let t1 = Instant::now();
+    let report =
+        analyze_streamed(&path, &snaps, &AnalysisConfig::default()).expect("streamed analyze");
+    let analyze_s = t1.elapsed().as_secs_f64();
+    std::hint::black_box(&report);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+    let total = simulate_s + analyze_s;
+    let result = TierResult {
+        tier: name.to_string(),
+        scale,
+        probes,
+        simulate_s,
+        analyze_s,
+        probes_per_sec: if total > 0.0 { probes as f64 / total } else { 0.0 },
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    println!("{}", serde_json::to_string(&result).expect("tier result serializes"));
+    std::process::exit(0);
 }
 
 fn main() {
     let mut scale = 0.05f64;
+    let mut tier = String::new();
     let mut seed = 11u64;
     let mut iters = 3usize;
     let mut out: Option<PathBuf> = None;
+    let mut ladder: Vec<String> = vec!["s005".into(), "s02".into(), "paper".into()];
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--scale" => scale = args.next().expect("--scale value").parse().expect("numeric"),
+            "--scale" => {
+                scale = args.next().expect("--scale value").parse().expect("numeric");
+                tier.clear();
+            }
+            "--tier" => {
+                tier = args.next().expect("--tier name");
+                scale = tier_scale(&tier).unwrap_or_else(|| {
+                    eprintln!("unknown tier {tier:?} (want one of {})", TIER_NAMES.join(", "));
+                    std::process::exit(2);
+                });
+            }
+            "--tiers" => {
+                let list = args.next().expect("--tiers list");
+                ladder = if list == "none" {
+                    Vec::new()
+                } else {
+                    list.split(',').map(str::to_string).collect()
+                };
+                for name in &ladder {
+                    if tier_scale(name).is_none() {
+                        eprintln!(
+                            "unknown tier {name:?} (want one of {})",
+                            TIER_NAMES.join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
             "--iters" => iters = args.next().expect("--iters value").parse().expect("numeric"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out file"))),
+            // Internal: one ladder rung, isolated for clean RSS numbers.
+            "--tier-child" => {
+                let name = args.next().expect("--tier-child name");
+                let seed = args
+                    .next()
+                    .expect("--tier-child seed")
+                    .parse()
+                    .expect("numeric tier seed");
+                run_tier_child(&name, seed);
+            }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: perfsnap [--scale S] [--seed N] [--iters K] [--out FILE]");
+                eprintln!(
+                    "usage: perfsnap [--scale S | --tier NAME] [--seed N] [--iters K] \
+                     [--out FILE] [--tiers LIST]"
+                );
                 std::process::exit(2);
             }
         }
@@ -103,6 +222,21 @@ fn main() {
     let world = paper_world(scale, seed);
     let sim_out = simulate(&world);
     let snaps = paper_route_tables(&world);
+
+    // Warm-up: one untimed full pass so both thread columns measure
+    // against the same steady-state allocator. Without it the second
+    // column inherits a heap the first column grew, which skews every
+    // millisecond-scale stage toward "regression".
+    {
+        std::hint::black_box(simulate_instrumented(&world, None));
+        std::hint::black_box(analyze(
+            &sim_out.dataset,
+            &snaps,
+            &dynaddr_core::pipeline::AnalysisConfig::default(),
+        ));
+        std::hint::black_box(sim_out.dataset.to_jsonl());
+        std::hint::black_box(sim_out.dataset.to_store_bytes());
+    }
 
     let (one, sim_shards, sim_queue) = run_all(&world, &sim_out, &snaps, 1, iters);
     let (many, _, _) = run_all(&world, &sim_out, &snaps, max_threads, iters);
@@ -134,8 +268,46 @@ fn main() {
             speedup: if msn > 0.0 { ms1 / msn } else { 0.0 },
         })
         .collect();
-    let snap =
-        Snapshot { scale, seed, iters, max_threads, sim_shards, sim_queue, dataset_bytes, stages };
+
+    // The streamed scale ladder: one child process per tier so each
+    // peak-RSS number is that tier's alone.
+    let exe = std::env::current_exe().expect("current exe");
+    let mut tiers = Vec::new();
+    for name in &ladder {
+        eprintln!("tier {name} (streamed, isolated process)...");
+        let child = std::process::Command::new(&exe)
+            .args(["--tier-child", name, &seed.to_string()])
+            .output()
+            .expect("spawn tier child");
+        if !child.status.success() {
+            eprintln!("tier {name} failed:\n{}", String::from_utf8_lossy(&child.stderr));
+            continue;
+        }
+        let stdout = String::from_utf8_lossy(&child.stdout);
+        let res: TierResult =
+            serde_json::from_str(stdout.trim()).expect("tier child prints a TierResult");
+        eprintln!(
+            "tier {name}: {} probes, {:.0} probes/s, peak rss {:.1} MiB",
+            res.probes,
+            res.probes_per_sec,
+            res.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+        );
+        tiers.push(res);
+    }
+
+    let snap = Snapshot {
+        scale,
+        tier,
+        seed,
+        iters,
+        max_threads,
+        sim_shards,
+        sim_queue,
+        dataset_bytes,
+        peak_rss_bytes: peak_rss_bytes(),
+        stages,
+        tiers,
+    };
     let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write snapshot");
     println!("{json}");

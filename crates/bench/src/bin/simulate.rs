@@ -1,8 +1,8 @@
 //! `simulate` — generate a RIPE-Atlas-style dataset on disk.
 //!
 //! Usage:
-//!   simulate --out DIR [--scale S] [--seed N] [--threads N]
-//!            [--format store|jsonl] [--serial-build]
+//!   simulate --out DIR [--scale S | --tier NAME] [--seed N] [--threads N]
+//!            [--format store|jsonl] [--serial-build] [--streamed]
 //!
 //! Writes into DIR:
 //!   dataset.store                                             (the dataset)
@@ -14,14 +14,22 @@
 //! files and the truth as `truth.json` instead. The dataset directory is
 //! exactly what the `analyze` binary consumes in either format — the
 //! pipeline runs from the files alone, as it would on real scraped logs.
+//!
+//! `--tier NAME` is sugar for the named scale (s005, s02, paper, 10x,
+//! 100x). `--streamed` encodes each simulator shard's output into
+//! `dataset.store` as it completes instead of materializing the dataset —
+//! required above `paper` scale, byte-identical below it (CI diffs it).
+//! Streamed output is store-format only.
 
 use dynaddr_atlas::world::{paper_route_tables, paper_world};
-use dynaddr_atlas::{simulate_with_options, SimOptions, StoreFormat};
+use dynaddr_atlas::{simulate_to_store, simulate_with_options, SimOptions, StoreFormat};
+use dynaddr_bench::tier_scale;
+use dynaddr_store::{ColumnarRecord, SegmentFileReader};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: simulate --out DIR [--scale S] [--seed N] [--threads N] \
-                     [--format store|jsonl] [--serial-build]";
+const USAGE: &str = "usage: simulate --out DIR [--scale S | --tier NAME] [--seed N] \
+                     [--threads N] [--format store|jsonl] [--serial-build] [--streamed]";
 
 fn main() {
     let mut scale = 0.1f64;
@@ -29,10 +37,22 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut format = StoreFormat::default();
     let mut opts = SimOptions::default();
+    let mut streamed = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => scale = args.next().expect("--scale value").parse().expect("numeric"),
+            "--tier" => {
+                let name = args.next().expect("--tier name");
+                scale = tier_scale(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown tier {name:?} (want one of {})",
+                        dynaddr_bench::TIER_NAMES.join(", ")
+                    );
+                    std::process::exit(2);
+                });
+            }
+            "--streamed" => streamed = true,
             "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
             "--format" => {
@@ -63,30 +83,67 @@ fn main() {
 
     eprintln!("simulating paper world at scale {scale} (seed {seed})...");
     let world = paper_world(scale, seed);
-    let output = simulate_with_options(&world, &opts);
     let snaps = paper_route_tables(&world);
 
-    output.dataset.save_dir_format(&out_dir, format).expect("write dataset");
+    // counts: probes, connection entries, kroot records, uptime records.
+    let (truth, counts) = if streamed {
+        if matches!(format, StoreFormat::Jsonl) {
+            eprintln!("--streamed writes the store format only");
+            std::process::exit(2);
+        }
+        std::fs::create_dir_all(&out_dir).expect("create out dir");
+        let store_path = out_dir.join("dataset.store");
+        let (truth, _stats) =
+            simulate_to_store(&world, &opts, &store_path).unwrap_or_else(|e| {
+                eprintln!("streamed simulate failed: {e}");
+                std::process::exit(1);
+            });
+        // Match save_dir_format: never leave the other format's files
+        // shadowing the one just written.
+        for name in ["meta.jsonl", "connections.jsonl", "kroot.jsonl", "uptime.jsonl"] {
+            let _ = std::fs::remove_file(out_dir.join(name));
+        }
+        // Row counts come from the footer index — the dataset itself is
+        // never in memory on this path.
+        let reader = SegmentFileReader::open(&store_path).expect("reopen dataset.store");
+        let counts = [
+            reader.table_rows(dynaddr_atlas::ProbeMeta::TABLE_ID),
+            reader.table_rows(dynaddr_atlas::ConnectionLogEntry::TABLE_ID),
+            reader.table_rows(dynaddr_atlas::KrootPingRecord::TABLE_ID),
+            reader.table_rows(dynaddr_atlas::SosUptimeRecord::TABLE_ID),
+        ];
+        (truth, counts)
+    } else {
+        let output = simulate_with_options(&world, &opts);
+        output.dataset.save_dir_format(&out_dir, format).expect("write dataset");
+        let counts = [
+            output.dataset.meta.len() as u64,
+            output.dataset.connections.len() as u64,
+            output.dataset.kroot.len() as u64,
+            output.dataset.uptime.len() as u64,
+        ];
+        (output.truth, counts)
+    };
+
     snaps.save_dir(&out_dir.join("ip2as")).expect("write snapshots");
     // Like save_dir_format, drop the other format's truth file so the
     // directory never holds two diverging copies.
     match format {
         StoreFormat::Store => {
-            std::fs::write(out_dir.join("truth.store"), output.truth.to_store_bytes())
+            std::fs::write(out_dir.join("truth.store"), truth.to_store_bytes())
                 .expect("write truth");
             let _ = std::fs::remove_file(out_dir.join("truth.json"));
         }
         StoreFormat::Jsonl => {
             std::fs::write(
                 out_dir.join("truth.json"),
-                serde_json::to_string_pretty(&output.truth).expect("truth serializes"),
+                serde_json::to_string_pretty(&truth).expect("truth serializes"),
             )
             .expect("write truth");
             let _ = std::fs::remove_file(out_dir.join("truth.store"));
         }
     }
-    let names: BTreeMap<u32, String> = output
-        .truth
+    let names: BTreeMap<u32, String> = truth
         .isp_policies
         .iter()
         .map(|(asn, p)| (*asn, p.name.clone()))
@@ -100,9 +157,9 @@ fn main() {
     eprintln!(
         "wrote {} ({format} format): {} probes, {} connection entries, {} kroot records, {} uptime records",
         out_dir.display(),
-        output.dataset.meta.len(),
-        output.dataset.connections.len(),
-        output.dataset.kroot.len(),
-        output.dataset.uptime.len()
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
     );
 }

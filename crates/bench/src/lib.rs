@@ -52,3 +52,68 @@ pub fn isp_names(out: &SimOutput) -> BTreeMap<u32, String> {
         .map(|(asn, p)| (*asn, p.name.clone()))
         .collect()
 }
+
+/// Every tier name, in ascending scale order. Peak-RSS measurements are
+/// process-wide and monotone, so ladders either run ascending or isolate
+/// each tier in its own process (perfsnap does the latter).
+pub const TIER_NAMES: [&str; 5] = ["s005", "s02", "paper", "10x", "100x"];
+
+/// World scale for a named tier (`None` for unknown names).
+///
+/// A *tier* is a named multiple of the paper's deployment (10,977 probes
+/// at `paper`): `s005`/`s02` match the perfsnap and CI smoke scales
+/// already in use, `10x`/`100x` stress the streaming pipeline up to
+/// ~1.1 M probes. Binaries accept `--tier NAME` as sugar for the
+/// corresponding `--scale`.
+pub fn tier_scale(name: &str) -> Option<f64> {
+    Some(match name {
+        "s005" => 0.05,
+        "s02" => 0.2,
+        "paper" => 1.0,
+        "10x" => 10.0,
+        "100x" => 100.0,
+        _ => return None,
+    })
+}
+
+/// Peak resident set size of this process in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, 0 on platforms without it. The high-water
+/// mark never decreases, so measure the phase of interest in a process
+/// that does nothing bigger first.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb = rest.trim().trim_end_matches("kB").trim();
+            return kb.parse::<u64>().unwrap_or(0) * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_known_and_ascending() {
+        let scales: Vec<f64> = TIER_NAMES
+            .iter()
+            .map(|n| tier_scale(n).expect("every listed tier resolves"))
+            .collect();
+        assert!(scales.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(tier_scale("paper"), Some(1.0));
+        assert_eq!(tier_scale("nope"), None);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // A running test binary has touched at least a page.
+            assert!(rss > 0, "VmHWM should parse on Linux, got {rss}");
+        }
+    }
+}

@@ -161,37 +161,90 @@ impl FilterCounts {
 /// monoid — counter sums, disjoint-key map union, chunk-order vector
 /// concatenation — keeping the report identical at any worker count.
 pub fn filter_probes(dataset: &AtlasDataset, snapshots: &MonthlySnapshots) -> FilterReport {
-    let classified: Vec<(ProbeClass, Option<AnalyzableProbe>)> =
-        dynaddr_exec::par_map(&dataset.meta, |meta| {
-            classify(meta, dataset.connections_of(meta.probe), snapshots)
-        });
+    let mut filter = StreamingFilter::new();
+    filter.push(dataset, snapshots);
+    filter.finish()
+}
 
-    let items: Vec<(u32, ProbeClass, Option<AnalyzableProbe>)> = dataset
-        .meta
-        .iter()
-        .zip(classified)
-        .map(|(meta, (class, probe))| (meta.probe.0, class, probe))
-        .collect();
-    let (mut counts, classes, probes) = dynaddr_exec::par_fold(
-        items,
-        || (FilterCounts::default(), BTreeMap::new(), Vec::new()),
-        |(mut counts, mut classes, mut probes), (id, class, probe)| {
-            counts.record(class);
-            classes.insert(id, class);
-            probes.extend(probe);
-            (counts, classes, probes)
-        },
-        |(mut ca, mut la, mut pa), (cb, lb, mut pb)| {
-            ca.absorb(&cb);
-            la.extend(lb);
-            pa.append(&mut pb);
-            (ca, la, pa)
-        },
-    );
-    counts.total = dataset.meta.len();
-    counts.multi_as = probes.iter().filter(|p| p.multi_as).count();
-    counts.analyzable_as = counts.analyzable_geo - counts.multi_as;
-    FilterReport { counts, classes, probes }
+/// The Table 2 funnel as an incremental fold over dataset batches.
+///
+/// Classification is per-probe, so feeding the dataset in any batching —
+/// the whole thing at once ([`filter_probes`]) or probe-range batches from
+/// a [`dynaddr_atlas::DatasetStream`] — produces identical output: counts
+/// are sums, the class map unions disjoint keys, and probes concatenate in
+/// push order (ascending probe ids when batches arrive in file order).
+pub struct StreamingFilter {
+    counts: FilterCounts,
+    classes: BTreeMap<u32, ProbeClass>,
+    probes: Vec<AnalyzableProbe>,
+}
+
+impl Default for StreamingFilter {
+    fn default() -> StreamingFilter {
+        StreamingFilter::new()
+    }
+}
+
+impl StreamingFilter {
+    /// An empty funnel.
+    pub fn new() -> StreamingFilter {
+        StreamingFilter {
+            counts: FilterCounts::default(),
+            classes: BTreeMap::new(),
+            probes: Vec::new(),
+        }
+    }
+
+    /// Folds one batch of whole probes into the funnel (every probe whose
+    /// meta row is in the batch must have all its connections there too).
+    pub fn push(&mut self, batch: &AtlasDataset, snapshots: &MonthlySnapshots) {
+        let classified: Vec<(ProbeClass, Option<AnalyzableProbe>)> =
+            dynaddr_exec::par_map(&batch.meta, |meta| {
+                classify(meta, batch.connections_of(meta.probe), snapshots)
+            });
+
+        let items: Vec<(u32, ProbeClass, Option<AnalyzableProbe>)> = batch
+            .meta
+            .iter()
+            .zip(classified)
+            .map(|(meta, (class, probe))| (meta.probe.0, class, probe))
+            .collect();
+        let (counts, classes, mut probes) = dynaddr_exec::par_fold(
+            items,
+            || (FilterCounts::default(), BTreeMap::new(), Vec::new()),
+            |(mut counts, mut classes, mut probes), (id, class, probe)| {
+                counts.record(class);
+                classes.insert(id, class);
+                probes.extend(probe);
+                (counts, classes, probes)
+            },
+            |(mut ca, mut la, mut pa), (cb, lb, mut pb)| {
+                ca.absorb(&cb);
+                la.extend(lb);
+                pa.append(&mut pb);
+                (ca, la, pa)
+            },
+        );
+        self.counts.absorb(&counts);
+        self.counts.total += batch.meta.len();
+        self.classes.extend(classes);
+        self.probes.append(&mut probes);
+    }
+
+    /// The analyzable probes accumulated so far, in push order (callers
+    /// streaming per-probe work can process `probes()[prev..]` after each
+    /// push).
+    pub fn probes(&self) -> &[AnalyzableProbe] {
+        &self.probes
+    }
+
+    /// Closes the funnel: derives the cross-batch counts (multi-AS and the
+    /// AS-level analyzable set) and returns the report.
+    pub fn finish(mut self) -> FilterReport {
+        self.counts.multi_as = self.probes.iter().filter(|p| p.multi_as).count();
+        self.counts.analyzable_as = self.counts.analyzable_geo - self.counts.multi_as;
+        FilterReport { counts: self.counts, classes: self.classes, probes: self.probes }
+    }
 }
 
 /// Classifies one probe; analyzable probes also yield their cleaned data.

@@ -54,5 +54,7 @@ pub mod report;
 pub mod stats;
 pub mod ttf;
 
-pub use filtering::{filter_probes, FilterCounts, FilterReport, ProbeClass};
-pub use pipeline::{analyze, AnalysisConfig, AnalysisReport};
+pub use filtering::{filter_probes, FilterCounts, FilterReport, ProbeClass, StreamingFilter};
+pub use pipeline::{
+    analyze, analyze_streamed, analyze_streamed_batched, AnalysisConfig, AnalysisReport,
+};

@@ -9,10 +9,12 @@
 //! prefix-change analysis (Table 7).
 
 use crate::assoc::{
-    associate_network, associate_power, cond_prob, AssociatedOutage, DurationBuckets,
+    associate_network, associate_power, AssociatedOutage, CondProb, DurationBuckets,
     OutageKind,
 };
-use crate::filtering::{filter_probes, AnalyzableProbe, FilterCounts};
+use crate::filtering::{
+    filter_probes, AnalyzableProbe, FilterCounts, FilterReport, StreamingFilter,
+};
 use crate::firmware::{reboot_series, strip_firmware_reboots};
 use crate::geo::{as_distributions, continent_distributions, country_as_distributions};
 use crate::hourly::{peak_window_fraction, periodic_change_hours};
@@ -21,11 +23,14 @@ use crate::periodic::{table5, PeriodicConfig, Table5Row};
 use crate::prefixes::{prefix_changes, Table7};
 use crate::ttf::TtfCurve;
 use dynaddr_atlas::logs::AtlasDataset;
+use dynaddr_atlas::stream::{DatasetStream, DEFAULT_BATCH_PROBES};
 use dynaddr_exec::{par_map_flat, par_run};
 use dynaddr_ip2as::MonthlySnapshots;
+use dynaddr_store::StoreError;
 use dynaddr_types::{Asn, ProbeId};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -306,15 +311,117 @@ pub fn analyze(
     snapshots: &MonthlySnapshots,
     cfg: &AnalysisConfig,
 ) -> AnalysisReport {
+    // ----- Filtering (Table 2) -------------------------------------------
+    let report = filter_probes(dataset, snapshots);
+    // ----- Outage detection (the only other dataset consumer) ------------
+    let oa = outage_analysis(dataset, &report.probes);
+    finish_analysis(report, oa, snapshots, cfg)
+}
+
+/// [`analyze`] over a `dataset.store` file, one probe batch at a time.
+///
+/// Only the filtering funnel and outage detection read raw logs; both fold
+/// over whole-probe batches, so the pipeline streams the file twice —
+/// pass 1 classifies probes and detects reboots (the uptime table is
+/// dropped batch by batch), the firmware series is derived globally, and
+/// pass 2 detects and associates outages (dropping the k-root table, by
+/// far the file's heaviest, batch by batch). Everything downstream runs on
+/// the retained [`AnalyzableProbe`]s exactly as in [`analyze`]; the report
+/// is byte-identical to the materialized path's. Peak memory is the
+/// analyzable probes plus one batch, not the dataset.
+pub fn analyze_streamed(
+    path: &Path,
+    snapshots: &MonthlySnapshots,
+    cfg: &AnalysisConfig,
+) -> Result<AnalysisReport, StoreError> {
+    analyze_streamed_batched(path, snapshots, cfg, DEFAULT_BATCH_PROBES)
+}
+
+/// [`analyze_streamed`] with an explicit batch size (probes per batch).
+pub fn analyze_streamed_batched(
+    path: &Path,
+    snapshots: &MonthlySnapshots,
+    cfg: &AnalysisConfig,
+    batch_probes: usize,
+) -> Result<AnalysisReport, StoreError> {
+    // ----- Pass 1: filtering funnel + reboot detection --------------------
+    let mut stream = DatasetStream::with_batch_probes(path, batch_probes)?;
+    let mut filter = StreamingFilter::new();
+    let mut all_reboots: Vec<Reboot> = Vec::new();
+    while let Some(batch) = stream.next_batch()? {
+        let prev = filter.probes().len();
+        filter.push(&batch, snapshots);
+        // Reboot detection reads only this batch's uptime rows; fresh
+        // probes are appended in file order, so the concatenation matches
+        // the materialized path's single par_map_flat.
+        let fresh = &filter.probes()[prev..];
+        all_reboots
+            .extend(par_map_flat(fresh, |p| detect_reboots(batch.uptime_of(p.probe()))));
+    }
+    let report = filter.finish();
+
+    // ----- Firmware series (needs the global reboot population) -----------
+    let series = reboot_series(&all_reboots);
+    let firmware = FirmwarePanel {
+        daily: series.daily_unique_probes.clone(),
+        median: series.median,
+        update_days: series.update_days.clone(),
+    };
+    let cleaned = strip_firmware_reboots(&all_reboots, &series.update_days);
+    drop(all_reboots);
+    let mut by_probe: BTreeMap<u32, Vec<Reboot>> = BTreeMap::new();
+    for r in &cleaned {
+        by_probe.entry(r.probe.0).or_default().push(*r);
+    }
+
+    // ----- Pass 2: outage detection + association -------------------------
+    let mut stream = DatasetStream::with_batch_probes(path, batch_probes)?;
+    let probes = &report.probes;
+    let mut outages: Vec<AssociatedOutage> = Vec::new();
+    // Analyzable probes are in ascending id order, so each batch consumes
+    // a contiguous slice of them.
+    let mut next = 0usize;
+    while let Some(batch) = stream.next_batch()? {
+        let Some(last) = batch.meta.last() else { continue };
+        let hi = last.probe.0;
+        let lo = next;
+        while next < probes.len() && probes[next].probe().0 <= hi {
+            next += 1;
+        }
+        let in_batch = &probes[lo..next];
+        outages.extend(par_map_flat(in_batch, |p| {
+            let kroot = batch.kroot_of(p.probe());
+            let network = detect_network_outages(kroot);
+            let mut found = associate_network(&p.events.gaps, &network);
+            if p.meta.version.reliable_uptime() {
+                let reboots =
+                    by_probe.get(&p.probe().0).map(|v| v.as_slice()).unwrap_or(&[]);
+                let power = detect_power_outages(reboots, kroot, &network);
+                found.extend(associate_power(&p.events.gaps, &power));
+            }
+            found
+        }));
+    }
+    let oa = OutageAnalysis { outages, reboots: cleaned, firmware };
+    Ok(finish_analysis(report, oa, snapshots, cfg))
+}
+
+/// Everything downstream of the two dataset-consuming stages: turns the
+/// filter report and outage analysis into the full [`AnalysisReport`].
+/// Shared verbatim by [`analyze`] and [`analyze_streamed`], which is what
+/// makes the two paths byte-identical.
+fn finish_analysis(
+    report: FilterReport,
+    oa: OutageAnalysis,
+    snapshots: &MonthlySnapshots,
+    cfg: &AnalysisConfig,
+) -> AnalysisReport {
     let name_of = |asn: u32| {
         cfg.as_names
             .get(&asn)
             .cloned()
             .unwrap_or_else(|| format!("AS{asn}"))
     };
-
-    // ----- Filtering (Table 2) -------------------------------------------
-    let report = filter_probes(dataset, snapshots);
     let probes = &report.probes;
 
     // ----- Durations & TTF (Figs. 1–3) ------------------------------------
@@ -367,8 +474,6 @@ pub fn analyze(
         .collect();
 
     // ----- Outages (Figs. 6–9, Table 6) ------------------------------------
-    let oa = outage_analysis(dataset, probes);
-
     // Per-probe conditional probabilities over the AS-level population.
     struct ProbeCp {
         asn: u32,
@@ -377,17 +482,28 @@ pub fn analyze(
         pw: crate::assoc::CondProb,
         v3: bool,
     }
+    // One grouping pass over the outages; scanning the global list per
+    // probe (as `cond_prob` does) is O(probes × outages) and dominated
+    // analyze beyond 10× paper scale.
+    let mut cp_counts: BTreeMap<u32, [(usize, usize); 2]> = BTreeMap::new();
+    for o in &oa.outages {
+        let slot = &mut cp_counts.entry(o.probe.0).or_insert([(0, 0); 2])
+            [(o.kind == OutageKind::Power) as usize];
+        slot.0 += 1;
+        slot.1 += o.address_changed as usize;
+    }
     let mut probe_cps: Vec<ProbeCp> = Vec::new();
     for p in probes {
         if p.multi_as {
             continue;
         }
         let id: ProbeId = p.probe();
+        let [nw, pw] = cp_counts.get(&id.0).copied().unwrap_or([(0, 0); 2]);
         probe_cps.push(ProbeCp {
             asn: p.primary_asn.0,
             changed_once: !p.events.changes.is_empty(),
-            nw: cond_prob(id, &oa.outages, OutageKind::Network),
-            pw: cond_prob(id, &oa.outages, OutageKind::Power),
+            nw: CondProb { probe: id, outages: nw.0, changed: nw.1 },
+            pw: CondProb { probe: id, outages: pw.0, changed: pw.1 },
             v3: p.meta.version.reliable_uptime(),
         });
     }

@@ -22,6 +22,8 @@ use crate::record::ColumnarRecord;
 use crate::segment::{decode_segment, encode_segment, parse_header};
 use crate::varint;
 use crate::{DroppedSegment, ReadMode, StoreError};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
 
 /// Leading magic bytes identifying a store file (version 1).
 pub const MAGIC: [u8; 8] = *b"DYNSTOR1";
@@ -112,22 +114,123 @@ impl FileWriter {
     /// Appends the footer and trailer and returns the finished file bytes.
     pub fn finish(mut self) -> Vec<u8> {
         let footer_offset = self.buf.len() as u64;
-        let mut footer = Vec::new();
-        varint::write_u64(&mut footer, self.entries.len() as u64);
-        for e in &self.entries {
-            footer.push(e.table);
-            varint::write_u64(&mut footer, u64::from(e.key_lo));
-            varint::write_u64(&mut footer, u64::from(e.key_hi));
-            varint::write_u64(&mut footer, e.rows);
-            varint::write_u64(&mut footer, e.offset);
-            varint::write_u64(&mut footer, e.len);
-        }
-        let crc = crc32(&footer);
-        self.buf.extend_from_slice(&footer);
-        self.buf.extend_from_slice(&crc.to_le_bytes());
-        self.buf.extend_from_slice(&footer_offset.to_le_bytes());
-        self.buf.extend_from_slice(&MAGIC_END);
+        self.buf.extend_from_slice(&footer_and_trailer(&self.entries, footer_offset));
         self.buf
+    }
+}
+
+/// Encodes the footer (entry index + CRC) and the fixed trailer for a file
+/// whose segments end at `footer_offset`. Shared by [`FileWriter`] and
+/// [`StreamWriter`] so both paths produce bit-identical file tails.
+fn footer_and_trailer(entries: &[SegmentInfo], footer_offset: u64) -> Vec<u8> {
+    let mut footer = Vec::new();
+    varint::write_u64(&mut footer, entries.len() as u64);
+    for e in entries {
+        footer.push(e.table);
+        varint::write_u64(&mut footer, u64::from(e.key_lo));
+        varint::write_u64(&mut footer, u64::from(e.key_hi));
+        varint::write_u64(&mut footer, e.rows);
+        varint::write_u64(&mut footer, e.offset);
+        varint::write_u64(&mut footer, e.len);
+    }
+    let crc = crc32(&footer);
+    footer.extend_from_slice(&crc.to_le_bytes());
+    footer.extend_from_slice(&footer_offset.to_le_bytes());
+    footer.extend_from_slice(&MAGIC_END);
+    footer
+}
+
+/// Writes a store file incrementally to any [`Write`] sink.
+///
+/// Where [`FileWriter`] buffers the whole file in memory, `StreamWriter`
+/// emits each segment as it is handed over and keeps only the footer index
+/// in memory — peak memory is one segment, not one dataset. The caller
+/// drives the chunk discipline: within a table, every segment except the
+/// last must hold exactly `segment_rows` rows and rows must arrive in
+/// ascending key order, which is precisely what [`FileWriter::write_table`]
+/// does — so a `StreamWriter` fed the same rows produces byte-identical
+/// files ([`write_table_iter`](StreamWriter::write_table_iter) enforces the
+/// discipline for you).
+pub struct StreamWriter<W: Write> {
+    out: W,
+    offset: u64,
+    entries: Vec<SegmentInfo>,
+    segment_rows: usize,
+}
+
+impl<W: Write> StreamWriter<W> {
+    /// A streamed writer with the default segment size. Writes the leading
+    /// magic immediately.
+    pub fn new(out: W) -> Result<StreamWriter<W>, StoreError> {
+        StreamWriter::with_segment_rows(out, DEFAULT_SEGMENT_ROWS)
+    }
+
+    /// A streamed writer splitting tables into segments of at most
+    /// `segment_rows` rows (clamped to at least 1).
+    pub fn with_segment_rows(mut out: W, segment_rows: usize) -> Result<StreamWriter<W>, StoreError> {
+        out.write_all(&MAGIC).map_err(|e| StoreError::io("write magic", e))?;
+        Ok(StreamWriter {
+            out,
+            offset: MAGIC.len() as u64,
+            entries: Vec::new(),
+            segment_rows: segment_rows.max(1),
+        })
+    }
+
+    /// The segment row budget this writer chunks tables into.
+    pub fn segment_rows(&self) -> usize {
+        self.segment_rows
+    }
+
+    /// Encodes and writes one segment of `rows` (non-empty, at most
+    /// `segment_rows` — the caller owns the chunk discipline).
+    pub fn write_segment<R: ColumnarRecord>(&mut self, rows: &[R]) -> Result<(), StoreError> {
+        debug_assert!(!rows.is_empty() && rows.len() <= self.segment_rows);
+        let (frame, key_lo, key_hi) = encode_segment(rows);
+        self.entries.push(SegmentInfo {
+            table: R::TABLE_ID,
+            key_lo,
+            key_hi,
+            rows: rows.len() as u64,
+            offset: self.offset,
+            len: (frame.len() - 8) as u64,
+        });
+        self.out
+            .write_all(&frame)
+            .map_err(|e| StoreError::io(format!("write {} segment", R::TABLE_NAME), e))?;
+        self.offset += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one whole table from an iterator of key-sorted rows,
+    /// applying the same chunking as [`FileWriter::write_table`] (segments
+    /// restart at row 0 for each table).
+    pub fn write_table_iter<R: ColumnarRecord>(
+        &mut self,
+        rows: impl IntoIterator<Item = R>,
+    ) -> Result<(), StoreError> {
+        let mut buf: Vec<R> = Vec::with_capacity(self.segment_rows);
+        for row in rows {
+            buf.push(row);
+            if buf.len() == self.segment_rows {
+                self.write_segment(&buf)?;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.write_segment(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the footer and trailer, flushes, and returns the index of
+    /// everything written.
+    pub fn finish(mut self) -> Result<Vec<SegmentInfo>, StoreError> {
+        self.out
+            .write_all(&footer_and_trailer(&self.entries, self.offset))
+            .map_err(|e| StoreError::io("write footer", e))?;
+        self.out.flush().map_err(|e| StoreError::io("flush", e))?;
+        Ok(self.entries)
     }
 }
 
@@ -283,6 +386,101 @@ impl<'a> FileReader<'a> {
     }
 }
 
+/// Reads a store file directly from disk, one segment at a time.
+///
+/// Where [`FileReader`] needs the whole file in memory, this reader holds
+/// only the footer index and seeks to each segment on demand — the
+/// out-of-core side of [`StreamWriter`]. Every per-segment integrity check
+/// of [`FileReader`] (inline length, CRC, row count) applies unchanged.
+pub struct SegmentFileReader {
+    file: std::fs::File,
+    entries: Vec<SegmentInfo>,
+}
+
+impl SegmentFileReader {
+    /// Opens a store file strictly, reading only the magic, trailer, and
+    /// footer (the segments stay on disk).
+    pub fn open(path: &Path) -> Result<SegmentFileReader, StoreError> {
+        let mut file = std::fs::File::open(path)
+            .map_err(|e| StoreError::io(format!("open {}", path.display()), e))?;
+        let io = |context: &str| {
+            let context = context.to_string();
+            move |e: std::io::Error| StoreError::io(context, e)
+        };
+        let n = file.seek(SeekFrom::End(0)).map_err(io("seek to end"))? as usize;
+        if n < MAGIC.len() + 5 + TRAILER_LEN {
+            return Err(StoreError::TooShort { len: n });
+        }
+        let mut magic = [0u8; 8];
+        file.seek(SeekFrom::Start(0)).map_err(io("seek to magic"))?;
+        file.read_exact(&mut magic).map_err(io("read magic"))?;
+        check_magic(&magic)?;
+        let mut trailer = [0u8; TRAILER_LEN];
+        file.seek(SeekFrom::Start((n - TRAILER_LEN) as u64)).map_err(io("seek to trailer"))?;
+        file.read_exact(&mut trailer).map_err(io("read trailer"))?;
+        let footer_offset = parse_trailer(&trailer, n)?;
+        let mut region = vec![0u8; n - TRAILER_LEN - footer_offset];
+        file.seek(SeekFrom::Start(footer_offset as u64)).map_err(io("seek to footer"))?;
+        file.read_exact(&mut region).map_err(io("read footer"))?;
+        let entries = parse_footer_region(&region, footer_offset as u64)?;
+        Ok(SegmentFileReader { file, entries })
+    }
+
+    /// Every indexed segment, in file order.
+    pub fn segments(&self) -> &[SegmentInfo] {
+        &self.entries
+    }
+
+    /// Rows the index records for one table.
+    pub fn table_rows(&self, table: u8) -> u64 {
+        self.entries.iter().filter(|e| e.table == table).map(|e| e.rows).sum()
+    }
+
+    /// Reads and decodes one segment (identified by its index entry and
+    /// its ordinal within table `R`, for error naming), verifying the
+    /// inline length, checksum, and row count exactly like
+    /// [`FileReader::decode_table`].
+    pub fn read_segment<R: ColumnarRecord>(
+        &mut self,
+        index: usize,
+        info: SegmentInfo,
+    ) -> Result<Vec<R>, StoreError> {
+        let corrupt = |reason: String| StoreError::SegmentCorrupt {
+            table: R::TABLE_NAME.to_string(),
+            index,
+            offset: info.offset,
+            reason,
+        };
+        let mut frame = vec![0u8; info.len as usize + 8];
+        self.file
+            .seek(SeekFrom::Start(info.offset))
+            .and_then(|_| self.file.read_exact(&mut frame))
+            .map_err(|_| corrupt("segment extends past end of file".to_string()))?;
+        let inline_len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+        if u64::from(inline_len) != info.len {
+            return Err(corrupt(format!(
+                "length prefix {inline_len} disagrees with index length {}",
+                info.len
+            )));
+        }
+        let body = &frame[4..frame.len() - 4];
+        let stored_crc =
+            u32::from_le_bytes(frame[frame.len() - 4..].try_into().expect("4 bytes"));
+        if crc32(body) != stored_crc {
+            return Err(corrupt("checksum mismatch".to_string()));
+        }
+        let rows = decode_segment::<R>(body).map_err(|e: DecodeError| corrupt(e.reason))?;
+        if rows.len() as u64 != info.rows {
+            return Err(corrupt(format!(
+                "decoded {} rows where the index records {}",
+                rows.len(),
+                info.rows
+            )));
+        }
+        Ok(rows)
+    }
+}
+
 fn check_magic(bytes: &[u8]) -> Result<(), StoreError> {
     if bytes.len() < MAGIC.len() {
         return Err(StoreError::TooShort { len: bytes.len() });
@@ -304,14 +502,30 @@ fn parse_footer(bytes: &[u8]) -> Result<Vec<SegmentInfo>, StoreError> {
     if bytes[n - 8..] != MAGIC_END {
         return Err(StoreError::BadTrailer { reason: "end marker missing".to_string() });
     }
-    let footer_offset =
-        u64::from_le_bytes(bytes[n - 16..n - 8].try_into().expect("8 bytes")) as usize;
+    let footer_offset = parse_trailer(&bytes[n - TRAILER_LEN..], n)?;
+    let region = &bytes[footer_offset..n - TRAILER_LEN];
+    parse_footer_region(region, footer_offset as u64)
+}
+
+/// Validates the 16-byte trailer against a file of `n` bytes and returns
+/// the footer offset it points at.
+fn parse_trailer(trailer: &[u8], n: usize) -> Result<usize, StoreError> {
+    if trailer[8..] != MAGIC_END {
+        return Err(StoreError::BadTrailer { reason: "end marker missing".to_string() });
+    }
+    let footer_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes")) as usize;
     if footer_offset < MAGIC.len() || footer_offset + 5 > n - TRAILER_LEN {
         return Err(StoreError::BadTrailer {
             reason: format!("footer offset {footer_offset} out of bounds"),
         });
     }
-    let region = &bytes[footer_offset..n - TRAILER_LEN];
+    Ok(footer_offset)
+}
+
+/// Parses the footer region (entry index + CRC, trailer excluded) located
+/// at `footer_offset`, verifying its checksum and bounds-checking every
+/// entry against the segment area `[MAGIC.len(), footer_offset)`.
+fn parse_footer_region(region: &[u8], footer_offset: u64) -> Result<Vec<SegmentInfo>, StoreError> {
     let (footer, crc_bytes) = region.split_at(region.len() - 4);
     let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
     if crc32(footer) != stored_crc {
@@ -354,7 +568,7 @@ fn parse_footer(bytes: &[u8]) -> Result<Vec<SegmentInfo>, StoreError> {
             .checked_add(entry.len)
             .and_then(|v| v.checked_add(8));
         match seg_end {
-            Some(end) if entry.offset >= MAGIC.len() as u64 && end <= footer_offset as u64 => {}
+            Some(end) if entry.offset >= MAGIC.len() as u64 && end <= footer_offset => {}
             _ => {
                 return Err(bad(format!(
                     "entry {i}: segment at offset {} (len {}) out of bounds",

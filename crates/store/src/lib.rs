@@ -36,11 +36,16 @@ pub mod crc32;
 pub mod file;
 pub mod record;
 mod segment;
+pub mod sink;
 pub mod varint;
 
 pub use column::{ColumnBuilder, ColumnKind, ColumnReader, DecodeError};
-pub use file::{FileReader, FileWriter, SegmentInfo, DEFAULT_SEGMENT_ROWS, MAGIC};
+pub use file::{
+    FileReader, FileWriter, SegmentFileReader, SegmentInfo, StreamWriter, DEFAULT_SEGMENT_ROWS,
+    MAGIC,
+};
 pub use record::ColumnarRecord;
+pub use sink::{RunMerger, SegmentSink};
 
 use std::fmt;
 
@@ -150,6 +155,21 @@ pub enum StoreError {
         /// What was wrong with it.
         reason: String,
     },
+    /// An underlying file operation failed (streamed writers and the
+    /// file-backed reader only; in-memory paths never produce this).
+    Io {
+        /// What the store was doing when the operation failed.
+        context: String,
+        /// The failing operation's error.
+        source: std::io::Error,
+    },
+}
+
+impl StoreError {
+    /// Wraps an I/O failure with what the store was doing at the time.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> StoreError {
+        StoreError::Io { context: context.into(), source }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -167,8 +187,16 @@ impl fmt::Display for StoreError {
                 f,
                 "corrupt {table} segment {index} at offset {offset}: {reason}"
             ),
+            StoreError::Io { context, source } => write!(f, "store i/o: {context}: {source}"),
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

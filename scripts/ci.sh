@@ -17,12 +17,12 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> perfsnap smoke (scale 0.01)"
+echo "==> perfsnap smoke (scale 0.01, tier ladder s005 only)"
 SNAP="$(mktemp /tmp/perfsnap-smoke.XXXXXX.json)"
 SMOKE="$(mktemp -d /tmp/dynaddr-smoke.XXXXXX)"
 trap 'rm -rf "$SNAP" "$SMOKE"' EXIT
 cargo run --release -q -p dynaddr-bench --bin perfsnap -- \
-    --scale 0.01 --iters 1 --out "$SNAP"
+    --scale 0.01 --iters 1 --tiers s005 --out "$SNAP"
 
 python3 -m json.tool "$SNAP" > /dev/null
 grep -q '"sim_queue"' "$SNAP"
@@ -30,6 +30,8 @@ grep -q '"world_build"' "$SNAP"
 grep -q '"sim_event_loop"' "$SNAP"
 grep -q '"store_decode"' "$SNAP"
 grep -q '"dataset_bytes"' "$SNAP"
+grep -q '"probes_per_sec"' "$SNAP"
+grep -q '"peak_rss_bytes"' "$SNAP"
 
 echo "==> store round-trip smoke (scale 0.01, store vs jsonl)"
 # The same world written in both formats must analyze to identical reports.
@@ -55,6 +57,29 @@ test -f "$SMOKE/serial/dataset.store"
 cargo run --release -q -p dynaddr-bench --bin analyze -- \
     --data "$SMOKE/serial" --report "$SMOKE/serial.txt" > /dev/null
 diff "$SMOKE/store.txt" "$SMOKE/serial.txt"
+
+echo "==> streamed pipeline smoke (scale 0.01, streamed vs batch)"
+# Shard-streamed store writing must produce the byte-identical file, and
+# the out-of-core analyzer the byte-identical report.
+cargo run --release -q -p dynaddr-bench --bin simulate -- \
+    --out "$SMOKE/streamed" --scale 0.01 --seed 5 --streamed
+cmp "$SMOKE/store/dataset.store" "$SMOKE/streamed/dataset.store"
+cargo run --release -q -p dynaddr-bench --bin analyze -- \
+    --data "$SMOKE/streamed" --streamed --report "$SMOKE/streamed.txt" > /dev/null
+diff "$SMOKE/store.txt" "$SMOKE/streamed.txt"
+
+echo "==> paper-tier streamed smoke (memory ceiling)"
+# The full 10,977-probe tier must analyze out-of-core under 150 MiB peak
+# RSS — a ceiling the materialized path exceeds (~220 MB). The analyze
+# binary self-reports VmHWM on stderr as "peak_rss_bytes: N".
+cargo run --release -q -p dynaddr-bench --bin simulate -- \
+    --out "$SMOKE/paper" --tier paper --streamed
+cargo run --release -q -p dynaddr-bench --bin analyze -- \
+    --data "$SMOKE/paper" --streamed > /dev/null 2> "$SMOKE/paper-analyze.err"
+RSS="$(sed -n 's/^peak_rss_bytes: //p' "$SMOKE/paper-analyze.err")"
+echo "    paper-tier streamed analyze peak RSS: $RSS bytes"
+test -n "$RSS"
+test "$RSS" -lt 157286400
 
 echo "==> quickstart example smoke"
 cargo run --release -q --example quickstart > /dev/null

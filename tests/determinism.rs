@@ -156,6 +156,61 @@ fn simulation_is_byte_identical_across_bucket_widths_and_splitting() {
 }
 
 #[test]
+fn streamed_pipeline_matches_materialized_byte_for_byte() {
+    // Shard outputs encoded into the store file as they complete, and the
+    // out-of-core analyzer over that file, must both be byte-identical to
+    // the batch paths at any worker count.
+    use dynaddr::analysis::pipeline::analyze_streamed_batched;
+    use dynaddr::atlas::simulate_to_store;
+
+    let dir = std::env::temp_dir().join(format!("dynaddr-streamed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    for seed in [7u64, 23] {
+        let world = paper_world(0.02, seed);
+        dynaddr_exec::set_threads(Some(1));
+        let out = simulate(&world);
+        dynaddr_exec::set_threads(None);
+        let batch_bytes = out.dataset.to_store_bytes();
+        let batch_truth = serde_json::to_string(&out.truth).expect("truth serializes");
+        let snaps = paper_route_tables(&world);
+        let batch_report =
+            serde_json::to_string(&analyze(&out.dataset, &snaps, &AnalysisConfig::default()))
+                .expect("report serializes");
+
+        for threads in [Some(1), Some(2), None] {
+            dynaddr_exec::set_threads(threads);
+            let path = dir.join(format!("streamed-{seed}.store"));
+            let (truth, _stats) =
+                simulate_to_store(&world, &SimOptions::default(), &path).expect("streamed sim");
+            // 16 probes per batch forces the analyzer through many
+            // partial views of the dataset.
+            let streamed_report = serde_json::to_string(
+                &analyze_streamed_batched(&path, &snaps, &AnalysisConfig::default(), 16)
+                    .expect("streamed analyze"),
+            )
+            .expect("report serializes");
+            dynaddr_exec::set_threads(None);
+
+            let streamed_bytes = std::fs::read(&path).expect("read streamed store");
+            assert!(
+                batch_bytes == streamed_bytes,
+                "dataset.store bytes differ at threads={threads:?} seed={seed}"
+            );
+            assert_eq!(
+                batch_truth,
+                serde_json::to_string(&truth).expect("truth serializes"),
+                "ground truth differs at threads={threads:?} seed={seed}"
+            );
+            assert_eq!(
+                batch_report, streamed_report,
+                "streamed report differs at threads={threads:?} seed={seed}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
 fn shard_local_build_matches_serial_build_byte_for_byte() {
     // Nets and probes are normally materialized *inside* the parallel shard
     // map; `serial_build` materializes every shard up front on one thread.

@@ -364,3 +364,87 @@ fn damaged_magic_falls_back_to_jsonl_when_legacy_files_exist() {
     assert_eq!(ds, AtlasDataset::load_dir(&dir).expect("falls back to jsonl"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Streamed writer: interleaved shard runs merge to the canonical file
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sink_merges_interleaved_runs_to_canonical_bytes() {
+    use dynaddr::store::{SegmentFileReader, SegmentSink, StreamWriter};
+
+    let ds = sample_dataset();
+    let dir = temp_dir("sink");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let spill = dir.join("sink.spill");
+
+    // Three "shards" own probes by id % 3; each appends its key-sorted
+    // rows in two batches, and the shards arrive in scrambled order.
+    let mut sink = SegmentSink::with_segment_rows(&spill, 7).expect("create sink");
+    for run in [2u64, 0, 1] {
+        let meta: Vec<ProbeMeta> = ds
+            .meta
+            .iter()
+            .filter(|m| u64::from(m.probe.0) % 3 == run)
+            .cloned()
+            .collect();
+        let conns: Vec<ConnectionLogEntry> = ds
+            .connections
+            .iter()
+            .filter(|c| u64::from(c.probe.0) % 3 == run)
+            .cloned()
+            .collect();
+        sink.append(run, &meta[..meta.len() / 2]).expect("append meta");
+        sink.append(run, &meta[meta.len() / 2..]).expect("append meta");
+        sink.append(run, &conns[..conns.len() / 2]).expect("append conns");
+        sink.append(run, &conns[conns.len() / 2..]).expect("append conns");
+    }
+    let mut merger = sink.finish().expect("seal spill");
+
+    let out_path = dir.join("sink.store");
+    let file = std::fs::File::create(&out_path).expect("create out");
+    let mut w = StreamWriter::new(std::io::BufWriter::new(file)).expect("stream writer");
+    merger.merge_table::<ProbeMeta, _>(&mut w).expect("merge meta");
+    merger.merge_table::<ConnectionLogEntry, _>(&mut w).expect("merge connections");
+    merger.merge_table::<KrootPingRecord, _>(&mut w).expect("merge kroot");
+    merger.merge_table::<SosUptimeRecord, _>(&mut w).expect("merge uptime");
+    w.finish().expect("finish file");
+
+    // The merged file is the canonical encoding, bit for bit, and decodes
+    // back to the dataset.
+    let merged = std::fs::read(&out_path).expect("read merged");
+    assert!(
+        merged == ds.to_store_bytes(),
+        "merged file differs from the canonical batch encoding"
+    );
+    assert_eq!(AtlasDataset::from_store_bytes(&merged).expect("decodes"), ds);
+
+    // Bit flips in the appended segments stay typed through the
+    // file-backed reader the streaming paths use.
+    let (segments, _, _) = regions(&merged);
+    for at in segments.step_by(41) {
+        let mut copy = merged.clone();
+        copy[at] ^= 0x02;
+        std::fs::write(&out_path, &copy).expect("write damaged copy");
+        let mut reader = SegmentFileReader::open(&out_path).expect("index still reads");
+        let segs = reader.segments().to_vec();
+        let hit = segs
+            .iter()
+            .position(|s| {
+                (s.offset as usize) <= at && at < s.offset as usize + s.len as usize + 8
+            })
+            .expect("flip lands in a segment frame");
+        let info = segs[hit];
+        let ordinal = segs[..hit].iter().filter(|s| s.table == info.table).count();
+        let err = match info.table {
+            1 => reader.read_segment::<ProbeMeta>(ordinal, info).unwrap_err(),
+            2 => reader.read_segment::<ConnectionLogEntry>(ordinal, info).unwrap_err(),
+            other => panic!("unexpected table id {other}"),
+        };
+        assert!(
+            matches!(err, StoreError::SegmentCorrupt { .. }),
+            "byte {at}: expected SegmentCorrupt, got {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
