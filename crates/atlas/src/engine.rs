@@ -90,6 +90,11 @@ pub struct QueueStats {
     pub overflow_hits: u64,
     /// Bucket-width halvings triggered by occupancy skew.
     pub resizes: u64,
+    /// Queue length sampled at every push: the occupancy distribution the
+    /// calendar sizing fights against. Merges bit-identically across
+    /// shards (elementwise u64 adds), so the aggregate is worker-count
+    /// invariant like every other field here.
+    pub occupancy: dynaddr_obs::Histogram,
 }
 
 struct Entry<E> {
@@ -251,6 +256,7 @@ impl<E> EventQueue<E> {
         self.len += 1;
         self.stats.pushes += 1;
         self.stats.max_len = self.stats.max_len.max(self.len);
+        self.stats.occupancy.record(self.len as u64);
 
         if self.overflow_active {
             // Every bucket is drained; the sorted overflow run is the only

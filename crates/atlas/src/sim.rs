@@ -75,7 +75,6 @@ use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// k-root built-in measurement cadence: every four minutes (§3.4).
 const KROOT_GRID: i64 = 240;
@@ -153,6 +152,12 @@ pub struct QueueTelemetry {
     /// Events popped by the busiest shard — `max_shard_pops` against
     /// `pops / shards` is the balance ratio.
     pub max_shard_pops: u64,
+    /// Queue occupancy at push, aggregated over all shards (elementwise
+    /// histogram merge — worker-count invariant).
+    pub occupancy: dynaddr_obs::Histogram,
+    /// Per-shard pop totals as a distribution: the shape of shard balance,
+    /// not just its max.
+    pub shard_pops: dynaddr_obs::Histogram,
 }
 
 impl QueueTelemetry {
@@ -163,6 +168,8 @@ impl QueueTelemetry {
         self.overflow_hits += q.overflow_hits;
         self.resizes += q.resizes;
         self.max_shard_pops = self.max_shard_pops.max(q.pops);
+        self.occupancy.merge(&q.occupancy);
+        self.shard_pops.record(q.pops);
         self
     }
 
@@ -173,7 +180,23 @@ impl QueueTelemetry {
         self.overflow_hits += other.overflow_hits;
         self.resizes += other.resizes;
         self.max_shard_pops = self.max_shard_pops.max(other.max_shard_pops);
+        self.occupancy.merge(&other.occupancy);
+        self.shard_pops.merge(&other.shard_pops);
         self
+    }
+
+    /// Publish the aggregated telemetry into the global metrics registry.
+    /// Called once per simulation from single-threaded control flow, with
+    /// values that are already worker-count invariant.
+    fn publish(&self, shards: usize) {
+        dynaddr_obs::counter_add("sim.events_pushed", self.pushes);
+        dynaddr_obs::counter_add("sim.events_popped", self.pops);
+        dynaddr_obs::counter_add("sim.queue_overflow_hits", self.overflow_hits);
+        dynaddr_obs::counter_add("sim.queue_resizes", self.resizes);
+        dynaddr_obs::gauge_max("sim.max_queue_len", self.max_queue_len as u64);
+        dynaddr_obs::gauge_max("sim.shards", shards as u64);
+        dynaddr_obs::hist_merge("sim.queue_occupancy", &self.occupancy);
+        dynaddr_obs::hist_merge("sim.shard_pops", &self.shard_pops);
     }
 }
 
@@ -223,13 +246,13 @@ pub fn simulate_instrumented_opts(
     config: &WorldConfig,
     opts: &SimOptions,
 ) -> (SimOutput, SimStats) {
-    let t0 = Instant::now();
+    let sp_plan = dynaddr_obs::span("world_plan");
     let mut world = World::build(config);
     let base_truth = std::mem::take(&mut world.truth);
     let admin = world.admin.clone();
     let mut shards = world.into_shards(opts);
     let n_shards = shards.len();
-    let plan_s = t0.elapsed().as_secs_f64();
+    let plan_s = sp_plan.finish_secs();
     let mut serial_build_s = 0.0;
     if opts.serial_build {
         // Reference mode: materialize every shard up front, serially, so CI
@@ -238,13 +261,15 @@ pub fn simulate_instrumented_opts(
             serial_build_s += shard.materialize();
         }
     }
-    let t_loop = Instant::now();
+    let progress = dynaddr_obs::Progress::start("sim_shards", n_shards as u64);
+    let sp_loop = dynaddr_obs::span("sim_event_loop");
     let (mut output, queue, shard_build_s) = dynaddr_exec::par_fold(
         shards,
         || (empty_output(), QueueTelemetry::default(), 0.0f64),
         |(acc, tel, build_s), mut shard| {
             let b = shard.run();
             let q = shard.queue.stats();
+            progress.add(1);
             (
                 merge_outputs(acc, SimOutput { dataset: shard.dataset, truth: shard.truth }),
                 tel.absorb(q),
@@ -253,6 +278,8 @@ pub fn simulate_instrumented_opts(
         },
         |(a, ta, ba), (b, tb, bb)| (merge_outputs(a, b), ta.merge(tb), ba + bb),
     );
+    let loop_wall_s = sp_loop.finish_secs();
+    progress.finish();
     // Attach the world-level truth no shard owns.
     output.truth.isp_policies = base_truth.isp_policies;
     output.truth.firmware_dates = base_truth.firmware_dates;
@@ -266,16 +293,21 @@ pub fn simulate_instrumented_opts(
         }
     }
     let world_build_s = plan_s + serial_build_s + shard_build_s;
-    let event_loop_s = (t_loop.elapsed().as_secs_f64() - shard_build_s).max(0.0);
+    let event_loop_s = (loop_wall_s - shard_build_s).max(0.0);
 
-    let t1 = Instant::now();
-    crate::fill::generate_filler(config, &mut output);
-    let filler_s = t1.elapsed().as_secs_f64();
+    let filler_s = {
+        let sp = dynaddr_obs::span("sim_filler");
+        crate::fill::generate_filler(config, &mut output);
+        sp.finish_secs()
+    };
 
-    let t2 = Instant::now();
-    output.dataset.normalize();
-    output.truth.normalize();
-    let normalize_s = t2.elapsed().as_secs_f64();
+    let normalize_s = {
+        let sp = dynaddr_obs::span("sim_normalize");
+        output.dataset.normalize();
+        output.truth.normalize();
+        sp.finish_secs()
+    };
+    queue.publish(n_shards);
     (
         output,
         SimStats { shards: n_shards, world_build_s, event_loop_s, filler_s, normalize_s, queue },
@@ -303,13 +335,13 @@ pub fn simulate_to_store(
     opts: &SimOptions,
     out_path: &std::path::Path,
 ) -> Result<(GroundTruth, SimStats), StoreError> {
-    let t0 = Instant::now();
+    let sp_plan = dynaddr_obs::span("world_plan");
     let mut world = World::build(config);
     let base_truth = std::mem::take(&mut world.truth);
     let admin = world.admin.clone();
     let mut shards = world.into_shards(opts);
     let n_shards = shards.len();
-    let plan_s = t0.elapsed().as_secs_f64();
+    let plan_s = sp_plan.finish_secs();
     let mut serial_build_s = 0.0;
     if opts.serial_build {
         for shard in &mut shards {
@@ -326,7 +358,8 @@ pub fn simulate_to_store(
         e
     };
 
-    let t_loop = Instant::now();
+    let progress = dynaddr_obs::Progress::start("sim_shards_to_store", n_shards as u64);
+    let sp_loop = dynaddr_obs::span("sim_event_loop");
     let runs: Vec<(u64, Sim)> =
         shards.into_iter().enumerate().map(|(i, s)| (i as u64, s)).collect();
     let (truth, queue, shard_build_s, max_id) = dynaddr_exec::par_fold(
@@ -335,6 +368,7 @@ pub fn simulate_to_store(
         |(acc, tel, build_s, max_id), (run, mut shard)| {
             let b = shard.run();
             let q = shard.queue.stats();
+            progress.add(1);
             let mut ds = shard.dataset;
             // Shard-local canonical sort: same keys, same stability as
             // AtlasDataset::normalize, restricted to this shard's probes.
@@ -357,6 +391,8 @@ pub fn simulate_to_store(
         },
         |(a, ta, ba, ma), (b, tb, bb, mb)| (merge_truths(a, b), ta.merge(tb), ba + bb, ma.max(mb)),
     );
+    let loop_wall_s = sp_loop.finish_secs();
+    progress.finish();
     if let Some(e) = sink_err.into_inner().expect("sink error lock") {
         return Err(fail(e));
     }
@@ -371,14 +407,16 @@ pub fn simulate_to_store(
         }
     }
     let world_build_s = plan_s + serial_build_s + shard_build_s;
-    let event_loop_s = (t_loop.elapsed().as_secs_f64() - shard_build_s).max(0.0);
+    let event_loop_s = (loop_wall_s - shard_build_s).max(0.0);
 
-    let t1 = Instant::now();
-    crate::fill::generate_filler_to_sink(config, max_id + 1, n_shards as u64, &sink)
-        .map_err(&fail)?;
-    let filler_s = t1.elapsed().as_secs_f64();
+    let filler_s = {
+        let sp = dynaddr_obs::span("sim_filler");
+        crate::fill::generate_filler_to_sink(config, max_id + 1, n_shards as u64, &sink)
+            .map_err(&fail)?;
+        sp.finish_secs()
+    };
 
-    let t2 = Instant::now();
+    let sp_merge = dynaddr_obs::span("store_merge");
     let merged: Result<(), StoreError> = (|| {
         let mut merger = sink.into_inner().expect("sink lock").finish()?;
         let file = std::fs::File::create(out_path)
@@ -397,7 +435,8 @@ pub fn simulate_to_store(
     let _ = std::fs::remove_file(&spill_path);
     merged?;
     truth.normalize();
-    let normalize_s = t2.elapsed().as_secs_f64();
+    let normalize_s = sp_merge.finish_secs();
+    queue.publish(n_shards);
     Ok((
         truth,
         SimStats { shards: n_shards, world_build_s, event_loop_s, filler_s, normalize_s, queue },
@@ -807,7 +846,7 @@ impl Sim {
         if self.net_plans.is_empty() && self.probe_plans.is_empty() {
             return 0.0;
         }
-        let t = Instant::now();
+        let sp = dynaddr_obs::span("shard_materialize");
         let seeds = self.params.seeds;
         for plan in self.net_plans.drain(..) {
             let pool = AddressPool::from_parts(
@@ -837,7 +876,7 @@ impl Sim {
             self.probes_by_asn.entry(asn.0).or_default().push(local_idx);
             self.probes.push(p);
         }
-        t.elapsed().as_secs_f64()
+        sp.finish_secs()
     }
 
     /// Runs the shard to completion, materializing first if that has not

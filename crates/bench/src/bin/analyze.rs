@@ -3,6 +3,8 @@
 //! Usage:
 //!   analyze --data DIR [--report FILE] [--json FILE] [--threads N]
 //!           [--format store|jsonl] [--recover] [--streamed]
+//!           [--trace FILE]
+//!   analyze --tier NAME [--seed N] [--streamed] [--trace FILE] [...]
 //!
 //! DIR must contain the dataset (a `dataset.store` file or the legacy four
 //! `.jsonl` log files — auto-detected by magic bytes, or forced with
@@ -20,19 +22,35 @@
 //! byte-identical to the materialized path's. Either way the process's
 //! peak RSS is printed to stderr on exit (`peak_rss_bytes: N`) so CI can
 //! assert a memory ceiling.
+//!
+//! `--tier NAME` (s005|s02|paper|10x|100x) is self-contained: instead of
+//! reading `--data`, it simulates the named tier in-process (seeded by
+//! `--seed`, default 11) into a scratch store file and analyzes that —
+//! the one-command way to drive the full pipeline at any rung.
+//!
+//! `--trace FILE` writes a JSONL observability sidecar (spans, metrics,
+//! heartbeats, executor stats). Tracing is strictly off the output path:
+//! the report bytes are identical with and without it. `DYNADDR_LOG`
+//! (error|warn|info|debug) sets the stderr log level.
 
 use dynaddr_atlas::logs::{AtlasDataset, StoreFormat};
+use dynaddr_atlas::sim::{simulate_to_store, SimOptions};
+use dynaddr_atlas::world::{paper_route_tables, paper_world};
 use dynaddr_core::pipeline::{analyze, analyze_streamed, AnalysisConfig, AnalysisReport};
 use dynaddr_core::report::render_full;
 use dynaddr_ip2as::MonthlySnapshots;
+use dynaddr_obs::{error, info, warn};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: analyze --data DIR [--report FILE] [--json FILE] [--threads N] \
-                     [--format store|jsonl] [--recover] [--streamed]";
+                     [--format store|jsonl] [--recover] [--streamed] [--trace FILE]\n\
+       analyze --tier NAME [--seed N] [--streamed] [--trace FILE] [...]";
 
 fn main() {
     let mut data: Option<PathBuf> = None;
+    let mut tier: Option<String> = None;
+    let mut seed: u64 = 11;
     let mut report_file: Option<PathBuf> = None;
     let mut json_file: Option<PathBuf> = None;
     let mut format: Option<StoreFormat> = None;
@@ -42,13 +60,18 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--data" => data = Some(PathBuf::from(args.next().expect("--data dir"))),
+            "--tier" => tier = Some(args.next().expect("--tier name")),
+            "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
             "--streamed" => streamed = true,
             "--report" => report_file = Some(PathBuf::from(args.next().expect("--report file"))),
             "--json" => json_file = Some(PathBuf::from(args.next().expect("--json file"))),
+            "--trace" => {
+                dynaddr_bench::init_trace_or_exit(&PathBuf::from(args.next().expect("--trace file")));
+            }
             "--format" => {
                 let v = args.next().expect("--format value");
                 format = Some(StoreFormat::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown format {v:?} (want store or jsonl)");
+                    error!("unknown format {v:?} (want store or jsonl)");
                     std::process::exit(2);
                 }));
             }
@@ -58,19 +81,116 @@ fn main() {
                 args.next().expect("--threads value").parse().expect("numeric"),
             )),
             other => {
-                eprintln!("unknown argument {other}");
+                error!("unknown argument {other}");
                 eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
     }
-    let Some(dir) = data else {
-        eprintln!("{USAGE}");
-        std::process::exit(2);
+
+    // --tier simulates its own dataset; --data reads one. Exactly one.
+    let (report, as_names): (AnalysisReport, BTreeMap<u32, String>) = match (tier, data) {
+        (Some(_), Some(_)) => {
+            error!("--tier and --data are mutually exclusive");
+            std::process::exit(2);
+        }
+        (None, None) => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        (Some(name), None) => run_tier(&name, seed, streamed, recover, format),
+        (None, Some(dir)) => run_data_dir(&dir, streamed, recover, format),
     };
 
+    let text = render_full(&report, &as_names);
+    println!("{text}");
+    if let Some(path) = report_file {
+        std::fs::write(&path, &text).expect("write report");
+        info!("wrote {}", path.display());
+    }
+    if let Some(path) = json_file {
+        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializes"))
+            .expect("write json");
+        info!("wrote {}", path.display());
+    }
+    dynaddr_bench::emit_exec_stats_event();
+    dynaddr_obs::flush_trace();
+    dynaddr_obs::disable_trace();
+    // Machine-readable memory footprint (CI asserts a ceiling on it).
+    // Raw eprintln on purpose: ci.sh greps this exact line.
+    eprintln!("peak_rss_bytes: {}", dynaddr_bench::peak_rss_bytes());
+}
+
+/// Self-contained tier mode: simulate the named tier to a scratch store
+/// file, then analyze it (streamed or materialized).
+fn run_tier(
+    name: &str,
+    seed: u64,
+    streamed: bool,
+    recover: bool,
+    format: Option<StoreFormat>,
+) -> (AnalysisReport, BTreeMap<u32, String>) {
+    if recover || format.is_some() {
+        error!("--tier simulates a fresh store file (no --recover/--format)");
+        std::process::exit(2);
+    }
+    let Some(scale) = dynaddr_bench::tier_scale(name) else {
+        error!(
+            "unknown tier {name:?} (want {})",
+            dynaddr_bench::TIER_NAMES.join("|")
+        );
+        std::process::exit(2);
+    };
+    let world = paper_world(scale, seed);
+    let snaps = paper_route_tables(&world);
+    let dir = std::env::temp_dir().join(format!(
+        "dynaddr-analyze-tier-{}-{}",
+        name,
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let store_path = dir.join("dataset.store");
+    info!("simulating tier {name} (scale {scale}, seed {seed}) to {}...", store_path.display());
+    let (truth, _stats) =
+        simulate_to_store(&world, &SimOptions::default(), &store_path).unwrap_or_else(|e| {
+            error!("tier simulation failed: {e}");
+            std::process::exit(1);
+        });
+    let mut cfg =
+        AnalysisConfig { fig3_min_years: 3.0 * scale.min(1.0), ..AnalysisConfig::default() };
+    cfg.as_names =
+        truth.isp_policies.iter().map(|(asn, p)| (*asn, p.name.clone())).collect();
+    let report = if streamed {
+        info!("streaming {}...", store_path.display());
+        analyze_streamed(&store_path, &snaps, &cfg).unwrap_or_else(|e| {
+            error!("streamed analyze failed: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let dataset = AtlasDataset::load_dir(&dir).unwrap_or_else(|e| {
+            error!("failed to load tier dataset: {e}");
+            std::process::exit(1);
+        });
+        info!(
+            "analyzing {} probes / {} connection entries...",
+            dataset.meta.len(),
+            dataset.connections.len()
+        );
+        analyze(&dataset, &snaps, &cfg)
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    (report, cfg.as_names)
+}
+
+/// Classic mode: load the dataset and snapshots from a directory.
+fn run_data_dir(
+    dir: &PathBuf,
+    streamed: bool,
+    recover: bool,
+    format: Option<StoreFormat>,
+) -> (AnalysisReport, BTreeMap<u32, String>) {
     let snaps = MonthlySnapshots::load_dir(&dir.join("ip2as")).unwrap_or_else(|e| {
-        eprintln!("failed to load ip2as snapshots: {e}");
+        error!("failed to load ip2as snapshots: {e}");
         std::process::exit(1);
     });
     let mut cfg = AnalysisConfig::default();
@@ -79,61 +199,50 @@ fn main() {
             Ok(parsed) => cfg.as_names = parsed,
             // A missing names file is normal; a present-but-broken one
             // deserves a warning instead of silently unnamed ASNs.
-            Err(e) => eprintln!(
-                "warning: ignoring unparseable {}: {e}",
+            Err(e) => warn!(
+                "ignoring unparseable {}: {e}",
                 dir.join("names.json").display()
             ),
         }
     }
 
-    let report: AnalysisReport = if streamed {
+    if streamed {
         // Out-of-core: batches stream off dataset.store, the dataset is
         // never materialized. Recovery and jsonl loading need the batch
         // loader — reject the combination instead of quietly ignoring it.
         if recover || matches!(format, Some(StoreFormat::Jsonl)) {
-            eprintln!("--streamed reads a dataset.store file only (no --recover/--format jsonl)");
+            error!("--streamed reads a dataset.store file only (no --recover/--format jsonl)");
             std::process::exit(2);
         }
         let store_path = dir.join("dataset.store");
-        eprintln!("streaming {}...", store_path.display());
-        analyze_streamed(&store_path, &snaps, &cfg).unwrap_or_else(|e| {
-            eprintln!("streamed analyze failed: {e}");
+        info!("streaming {}...", store_path.display());
+        let report = analyze_streamed(&store_path, &snaps, &cfg).unwrap_or_else(|e| {
+            error!("streamed analyze failed: {e}");
             std::process::exit(1);
-        })
+        });
+        (report, cfg.as_names)
     } else {
-        eprintln!("loading dataset from {}...", dir.display());
+        info!("loading dataset from {}...", dir.display());
         let load_result = match (format, recover) {
-            (Some(f), false) => AtlasDataset::load_dir_as(&dir, f),
-            (None, false) => AtlasDataset::load_dir(&dir),
-            (_, true) => AtlasDataset::load_dir_recover(&dir).map(|(ds, report)| {
+            (Some(f), false) => AtlasDataset::load_dir_as(dir, f),
+            (None, false) => AtlasDataset::load_dir(dir),
+            (_, true) => AtlasDataset::load_dir_recover(dir).map(|(ds, report)| {
                 if !report.is_clean() {
-                    eprintln!("recover: {report}");
+                    warn!("recover: {report}");
                 }
                 ds
             }),
         };
         let dataset = load_result.unwrap_or_else(|e| {
-            eprintln!("failed to load dataset: {e}");
+            error!("failed to load dataset: {e}");
             std::process::exit(1);
         });
-        eprintln!(
+        info!(
             "analyzing {} probes / {} connection entries...",
             dataset.meta.len(),
             dataset.connections.len()
         );
-        analyze(&dataset, &snaps, &cfg)
-    };
-    let text = render_full(&report, &cfg.as_names);
-    println!("{text}");
-    if let Some(path) = report_file {
-        std::fs::write(&path, &text).expect("write report");
-        eprintln!("wrote {}", path.display());
+        let report = analyze(&dataset, &snaps, &cfg);
+        (report, cfg.as_names)
     }
-    if let Some(path) = json_file {
-        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializes"))
-            .expect("write json");
-        eprintln!("wrote {}", path.display());
-    }
-    // Machine-readable memory footprint (CI asserts a ceiling on it).
-    eprintln!("peak_rss_bytes: {}", dynaddr_bench::peak_rss_bytes());
 }

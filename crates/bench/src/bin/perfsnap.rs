@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   perfsnap [--scale S | --tier NAME] [--seed N] [--iters K] [--out FILE]
-//!            [--tiers LIST]
+//!            [--tiers LIST] [--trace FILE]
 //!
 //! Times the simulator and each pipeline stage at the default
 //! `paper_world(0.05, 11)` twice — once pinned to one thread, once at the
@@ -18,10 +18,22 @@
 //! reports throughput and peak RSS. One process per tier because the RSS
 //! high-water mark is process-wide and monotone — in-process tiers would
 //! inherit their predecessors' peaks.
+//!
+//! The snapshot also records the executor's per-worker task counts for the
+//! max-thread run (`exec_stats`) and the measured cost of tracing
+//! (`trace_overhead_pct`): traced and untraced `analyze` runs at the s005
+//! scale, interleaved best-of-K. Tracing is budgeted at 2% wall-clock —
+//! perfsnap exits nonzero (after writing the snapshot) if the overhead is
+//! above budget and the absolute delta exceeds 10 ms, so sub-millisecond
+//! jitter on fast machines cannot flake the check. `--trace FILE` writes
+//! the usual JSONL sidecar for the snapshot run itself; the warm-up pass
+//! appears there as an explicit `warmup: true` span, and the ladder's tier
+//! children always run untraced.
 
 use dynaddr_atlas::world::{paper_route_tables, paper_world};
 use dynaddr_atlas::{simulate, simulate_instrumented, simulate_to_store, SimOptions, SimOutput};
 use dynaddr_bench::{peak_rss_bytes, tier_scale, TIER_NAMES};
+use dynaddr_obs::{error, info, span};
 use dynaddr_core::filtering::filter_probes;
 use dynaddr_core::geo::continent_distributions;
 use dynaddr_core::periodic::{table5, PeriodicConfig};
@@ -55,6 +67,29 @@ struct QueueSnapshot {
     resizes: u64,
     /// Events in the busiest shard over the per-shard mean (1.0 = perfect).
     shard_balance: f64,
+    /// Median pending-event count at push time (log2-bucket upper bound).
+    occupancy_p50: u64,
+    /// 99th-percentile pending-event count at push time.
+    occupancy_p99: u64,
+}
+
+/// The executor's cumulative stats over the max-thread timing run.
+#[derive(Serialize)]
+struct ExecSnapshot {
+    /// Worker threads the run was pinned to.
+    workers: usize,
+    /// Parallel regions entered (par_map/par_fold/par_run calls).
+    regions: u64,
+    /// Regions that took the sequential fast path.
+    sequential_regions: u64,
+    /// Items processed across all regions.
+    tasks: u64,
+    /// Items processed per worker slot (slot = chunk index).
+    tasks_per_worker: Vec<u64>,
+    /// Mean spawn-to-start latency per spawned worker, milliseconds.
+    queue_wait_ms: f64,
+    /// Σ busy time / (Σ region wall × slots): 1.0 = perfectly balanced.
+    utilization: f64,
 }
 
 #[derive(Serialize)]
@@ -103,6 +138,11 @@ struct Snapshot {
     /// Peak RSS of the snapshot process itself (all materialized stage
     /// timings included; bytes, 0 off-Linux).
     peak_rss_bytes: u64,
+    /// Executor telemetry from the max-thread timing run.
+    exec_stats: ExecSnapshot,
+    /// Traced-vs-untraced `analyze` at s005 scale, percent of wall-clock
+    /// (interleaved best-of; budget is 2%).
+    trace_overhead_pct: f64,
     stages: Vec<StageTiming>,
     /// The streamed scale ladder, one isolated process per tier.
     tiers: Vec<TierResult>,
@@ -113,7 +153,7 @@ struct Snapshot {
 /// fresh process so `peak_rss_bytes` reflects this tier alone.
 fn run_tier_child(name: &str, seed: u64) -> ! {
     let scale = tier_scale(name).unwrap_or_else(|| {
-        eprintln!("unknown tier {name:?} (want one of {})", TIER_NAMES.join(", "));
+        error!("unknown tier {name:?} (want one of {})", TIER_NAMES.join(", "));
         std::process::exit(2);
     });
     let world = paper_world(scale, seed);
@@ -157,6 +197,7 @@ fn main() {
     let mut seed = 11u64;
     let mut iters = 3usize;
     let mut out: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
     let mut ladder: Vec<String> = vec!["s005".into(), "s02".into(), "paper".into()];
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -168,7 +209,7 @@ fn main() {
             "--tier" => {
                 tier = args.next().expect("--tier name");
                 scale = tier_scale(&tier).unwrap_or_else(|| {
-                    eprintln!("unknown tier {tier:?} (want one of {})", TIER_NAMES.join(", "));
+                    error!("unknown tier {tier:?} (want one of {})", TIER_NAMES.join(", "));
                     std::process::exit(2);
                 });
             }
@@ -181,7 +222,7 @@ fn main() {
                 };
                 for name in &ladder {
                     if tier_scale(name).is_none() {
-                        eprintln!(
+                        error!(
                             "unknown tier {name:?} (want one of {})",
                             TIER_NAMES.join(", ")
                         );
@@ -192,6 +233,9 @@ fn main() {
             "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
             "--iters" => iters = args.next().expect("--iters value").parse().expect("numeric"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out file"))),
+            // Deferred: the trace-overhead measurement must run with its own
+            // scratch sink first, so the user's sidecar opens after it.
+            "--trace" => trace = Some(PathBuf::from(args.next().expect("--trace file"))),
             // Internal: one ladder rung, isolated for clean RSS numbers.
             "--tier-child" => {
                 let name = args.next().expect("--tier-child name");
@@ -203,10 +247,10 @@ fn main() {
                 run_tier_child(&name, seed);
             }
             other => {
-                eprintln!("unknown argument {other}");
+                error!("unknown argument {other}");
                 eprintln!(
                     "usage: perfsnap [--scale S | --tier NAME] [--seed N] [--iters K] \
-                     [--out FILE] [--tiers LIST]"
+                     [--out FILE] [--tiers LIST] [--trace FILE]"
                 );
                 std::process::exit(2);
             }
@@ -217,7 +261,18 @@ fn main() {
     });
 
     let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    eprintln!("perfsnap: paper_world({scale}, {seed}), 1 vs {max_threads} threads, best of {iters}");
+    info!("perfsnap: paper_world({scale}, {seed}), 1 vs {max_threads} threads, best of {iters}");
+
+    // Trace overhead first, against a scratch sink — the user's sidecar (if
+    // any) must not open until this sink has been torn down.
+    let trace_overhead = measure_trace_overhead(seed, iters);
+    info!(
+        "trace overhead: {:+.2}% ({:+.3} ms) of untraced analyze at s005",
+        trace_overhead.pct, trace_overhead.delta_ms
+    );
+    if let Some(path) = &trace {
+        dynaddr_bench::init_trace_or_exit(path);
+    }
 
     let world = paper_world(scale, seed);
     let sim_out = simulate(&world);
@@ -226,8 +281,11 @@ fn main() {
     // Warm-up: one untimed full pass so both thread columns measure
     // against the same steady-state allocator. Without it the second
     // column inherits a heap the first column grew, which skews every
-    // millisecond-scale stage toward "regression".
+    // millisecond-scale stage toward "regression". The span marks it (and
+    // everything inside) `warmup: true` in the trace sidecar so readers
+    // never mistake it for a measured iteration.
     {
+        let _warm = span("warmup").warmup();
         std::hint::black_box(simulate_instrumented(&world, None));
         std::hint::black_box(analyze(
             &sim_out.dataset,
@@ -239,7 +297,19 @@ fn main() {
     }
 
     let (one, sim_shards, sim_queue) = run_all(&world, &sim_out, &snaps, 1, iters);
+    // Executor telemetry is scoped to the max-thread column alone.
+    dynaddr_exec::reset_exec_stats();
     let (many, _, _) = run_all(&world, &sim_out, &snaps, max_threads, iters);
+    let es = dynaddr_exec::exec_stats();
+    let exec_stats = ExecSnapshot {
+        workers: max_threads,
+        regions: es.regions,
+        sequential_regions: es.sequential_regions,
+        tasks: es.tasks,
+        tasks_per_worker: es.tasks_per_worker.clone(),
+        queue_wait_ms: es.queue_wait_ms(),
+        utilization: es.utilization(),
+    };
     dynaddr_exec::set_threads(None);
 
     let jsonl = sim_out.dataset.to_jsonl();
@@ -274,19 +344,19 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let mut tiers = Vec::new();
     for name in &ladder {
-        eprintln!("tier {name} (streamed, isolated process)...");
+        info!("tier {name} (streamed, isolated process)...");
         let child = std::process::Command::new(&exe)
             .args(["--tier-child", name, &seed.to_string()])
             .output()
             .expect("spawn tier child");
         if !child.status.success() {
-            eprintln!("tier {name} failed:\n{}", String::from_utf8_lossy(&child.stderr));
+            error!("tier {name} failed:\n{}", String::from_utf8_lossy(&child.stderr));
             continue;
         }
         let stdout = String::from_utf8_lossy(&child.stdout);
         let res: TierResult =
             serde_json::from_str(stdout.trim()).expect("tier child prints a TierResult");
-        eprintln!(
+        info!(
             "tier {name}: {} probes, {:.0} probes/s, peak rss {:.1} MiB",
             res.probes,
             res.probes_per_sec,
@@ -305,13 +375,75 @@ fn main() {
         sim_queue,
         dataset_bytes,
         peak_rss_bytes: peak_rss_bytes(),
+        exec_stats,
+        trace_overhead_pct: trace_overhead.pct,
         stages,
         tiers,
     };
     let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write snapshot");
     println!("{json}");
-    eprintln!("wrote {}", out.display());
+    info!("wrote {}", out.display());
+    dynaddr_bench::emit_exec_stats_event();
+    dynaddr_obs::flush_trace();
+    dynaddr_obs::disable_trace();
+
+    // The overhead budget is enforced after the snapshot is on disk, so a
+    // blown budget still leaves the measurement recorded. The 10 ms floor
+    // keeps scheduler jitter on sub-millisecond stages from flaking CI.
+    if trace_overhead.pct > 2.0 && trace_overhead.delta_ms > 10.0 {
+        error!(
+            "tracing overhead {:.2}% ({:.1} ms) exceeds the 2% budget",
+            trace_overhead.pct, trace_overhead.delta_ms
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Result of the traced-vs-untraced comparison.
+struct TraceOverhead {
+    /// (traced − untraced) / untraced, percent. Negative means noise.
+    pct: f64,
+    /// Traced − untraced best wall time, milliseconds.
+    delta_ms: f64,
+}
+
+/// Measure what tracing costs: best-of-K `analyze` runs at the s005 scale,
+/// traced and untraced iterations interleaved so allocator growth and
+/// frequency drift hit both columns alike. The traced column streams to a
+/// scratch sidecar that is deleted afterwards; spans buffered during the
+/// measurement are marked warm-up so a later `--trace` flush labels them.
+fn measure_trace_overhead(seed: u64, iters: usize) -> TraceOverhead {
+    let world = paper_world(0.05, seed);
+    let sim_out = simulate(&world);
+    let snaps = paper_route_tables(&world);
+    let cfg = AnalysisConfig::default();
+    let scratch = std::env::temp_dir()
+        .join(format!("dynaddr-perfsnap-overhead-{}.jsonl", std::process::id()));
+    let _warm = span("trace_overhead").warmup();
+    // Untimed first pass: both columns start from the same warm heap.
+    std::hint::black_box(analyze(&sim_out.dataset, &snaps, &cfg));
+    let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..iters.max(3) {
+        let t0 = Instant::now();
+        std::hint::black_box(analyze(&sim_out.dataset, &snaps, &cfg));
+        best_off = best_off.min(t0.elapsed().as_secs_f64() * 1e3);
+
+        dynaddr_bench::init_trace_or_exit(&scratch);
+        let t1 = Instant::now();
+        std::hint::black_box(analyze(&sim_out.dataset, &snaps, &cfg));
+        let on = t1.elapsed().as_secs_f64() * 1e3;
+        // Close without flushing: buffered spans stay for the real run's
+        // sidecar; the scratch file only sees streamed events.
+        dynaddr_obs::disable_trace();
+        best_on = best_on.min(on);
+    }
+    let _ = std::fs::remove_file(&scratch);
+    let delta_ms = best_on - best_off;
+    TraceOverhead {
+        pct: if best_off > 0.0 { delta_ms / best_off * 100.0 } else { 0.0 },
+        delta_ms,
+    }
 }
 
 /// Best-of-`iters` wall time in milliseconds for every stage at `threads`,
@@ -340,6 +472,8 @@ fn run_all(
         overflow_hits: 0,
         resizes: 0,
         shard_balance: 1.0,
+        occupancy_p50: 0,
+        occupancy_p99: 0,
     };
     {
         let mut best_total = f64::INFINITY;
@@ -363,6 +497,8 @@ fn run_all(
                 overflow_hits: stats.queue.overflow_hits,
                 resizes: stats.queue.resizes,
                 shard_balance: stats.shard_balance(),
+                occupancy_p50: stats.queue.occupancy.quantile(0.5),
+                occupancy_p99: stats.queue.occupancy.quantile(0.99),
             };
         }
         results.push(("simulate", best_total));
@@ -372,12 +508,14 @@ fn run_all(
         results.push(("sim_normalize", best_norm));
     }
 
+    // Each iteration is a span: the best-of wall time feeds the snapshot,
+    // and every iteration lands in the trace sidecar individually.
     let mut time = |stage: &'static str, f: &mut dyn FnMut()| {
         let mut best = f64::INFINITY;
         for _ in 0..iters {
-            let t0 = Instant::now();
+            let sp = span(stage);
             f();
-            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            best = best.min(sp.finish_secs() * 1e3);
         }
         results.push((stage, best));
     };

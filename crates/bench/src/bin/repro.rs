@@ -10,6 +10,7 @@
 
 use dynaddr_bench::{run_repro, Repro};
 use dynaddr_core::report;
+use dynaddr_obs::info;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -47,10 +48,10 @@ fn main() {
         .collect();
     }
 
-    eprintln!("simulating paper world at scale {scale} (seed {seed})...");
+    info!("simulating paper world at scale {scale} (seed {seed})...");
     let t0 = std::time::Instant::now();
     let repro = run_repro(scale, seed);
-    eprintln!(
+    info!(
         "simulated {} probes, {} connection entries, {} kroot records in {:.1?}; analyzing...",
         repro.out.dataset.meta.len(),
         repro.out.dataset.connections.len(),
@@ -69,7 +70,7 @@ fn main() {
         for (name, text) in sections {
             std::fs::write(format!("{dir}/{name}.txt"), text).expect("write section");
         }
-        eprintln!("wrote results to {dir}/");
+        info!("wrote results to {dir}/");
     }
 }
 

@@ -3,6 +3,7 @@
 //! Usage:
 //!   simulate --out DIR [--scale S | --tier NAME] [--seed N] [--threads N]
 //!            [--format store|jsonl] [--serial-build] [--streamed]
+//!            [--trace FILE]
 //!
 //! Writes into DIR:
 //!   dataset.store                                             (the dataset)
@@ -20,16 +21,23 @@
 //! `dataset.store` as it completes instead of materializing the dataset —
 //! required above `paper` scale, byte-identical below it (CI diffs it).
 //! Streamed output is store-format only.
+//!
+//! `--trace FILE` writes a JSONL observability sidecar (spans, metrics,
+//! heartbeats, executor stats); the dataset bytes are identical with and
+//! without it. `DYNADDR_LOG` (error|warn|info|debug) sets the stderr
+//! log level.
 
 use dynaddr_atlas::world::{paper_route_tables, paper_world};
 use dynaddr_atlas::{simulate_to_store, simulate_with_options, SimOptions, StoreFormat};
 use dynaddr_bench::tier_scale;
+use dynaddr_obs::{error, info};
 use dynaddr_store::{ColumnarRecord, SegmentFileReader};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: simulate --out DIR [--scale S | --tier NAME] [--seed N] \
-                     [--threads N] [--format store|jsonl] [--serial-build] [--streamed]";
+                     [--threads N] [--format store|jsonl] [--serial-build] [--streamed] \
+                     [--trace FILE]";
 
 fn main() {
     let mut scale = 0.1f64;
@@ -45,7 +53,7 @@ fn main() {
             "--tier" => {
                 let name = args.next().expect("--tier name");
                 scale = tier_scale(&name).unwrap_or_else(|| {
-                    eprintln!(
+                    error!(
                         "unknown tier {name:?} (want one of {})",
                         dynaddr_bench::TIER_NAMES.join(", ")
                     );
@@ -55,10 +63,13 @@ fn main() {
             "--streamed" => streamed = true,
             "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
+            "--trace" => {
+                dynaddr_bench::init_trace_or_exit(&PathBuf::from(args.next().expect("--trace file")));
+            }
             "--format" => {
                 let v = args.next().expect("--format value");
                 format = StoreFormat::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown format {v:?} (want store or jsonl)");
+                    error!("unknown format {v:?} (want store or jsonl)");
                     std::process::exit(2);
                 });
             }
@@ -70,7 +81,7 @@ fn main() {
             // parallel map. Output must be byte-identical (CI diffs it).
             "--serial-build" => opts.serial_build = true,
             other => {
-                eprintln!("unknown argument {other}");
+                error!("unknown argument {other}");
                 eprintln!("{USAGE}");
                 std::process::exit(2);
             }
@@ -81,21 +92,21 @@ fn main() {
         std::process::exit(2);
     };
 
-    eprintln!("simulating paper world at scale {scale} (seed {seed})...");
+    info!("simulating paper world at scale {scale} (seed {seed})...");
     let world = paper_world(scale, seed);
     let snaps = paper_route_tables(&world);
 
     // counts: probes, connection entries, kroot records, uptime records.
     let (truth, counts) = if streamed {
         if matches!(format, StoreFormat::Jsonl) {
-            eprintln!("--streamed writes the store format only");
+            error!("--streamed writes the store format only");
             std::process::exit(2);
         }
         std::fs::create_dir_all(&out_dir).expect("create out dir");
         let store_path = out_dir.join("dataset.store");
         let (truth, _stats) =
             simulate_to_store(&world, &opts, &store_path).unwrap_or_else(|e| {
-                eprintln!("streamed simulate failed: {e}");
+                error!("streamed simulate failed: {e}");
                 std::process::exit(1);
             });
         // Match save_dir_format: never leave the other format's files
@@ -154,7 +165,7 @@ fn main() {
     )
     .expect("write names");
 
-    eprintln!(
+    info!(
         "wrote {} ({format} format): {} probes, {} connection entries, {} kroot records, {} uptime records",
         out_dir.display(),
         counts[0],
@@ -162,4 +173,7 @@ fn main() {
         counts[2],
         counts[3],
     );
+    dynaddr_bench::emit_exec_stats_event();
+    dynaddr_obs::flush_trace();
+    dynaddr_obs::disable_trace();
 }

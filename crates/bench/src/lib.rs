@@ -79,18 +79,48 @@ pub fn tier_scale(name: &str) -> Option<f64> {
 /// Peak resident set size of this process in bytes: `VmHWM` from
 /// `/proc/self/status` on Linux, 0 on platforms without it. The high-water
 /// mark never decreases, so measure the phase of interest in a process
-/// that does nothing bigger first.
+/// that does nothing bigger first. Delegates to `dynaddr-obs`, which also
+/// samples live `VmRSS` for heartbeats.
 pub fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb = rest.trim().trim_end_matches("kB").trim();
-            return kb.parse::<u64>().unwrap_or(0) * 1024;
-        }
+    dynaddr_obs::peak_rss_bytes()
+}
+
+/// Shared `--trace FILE` handling for the bench bins: installs the JSONL
+/// sidecar sink, exiting with a message if the file cannot be created.
+pub fn init_trace_or_exit(path: &std::path::Path) {
+    if let Err(e) = dynaddr_obs::init_trace(path) {
+        eprintln!("error: cannot create trace file {}: {e}", path.display());
+        std::process::exit(2);
     }
-    0
+}
+
+/// Emit the executor's cumulative stats as one `exec_stats` trace event
+/// (no-op when tracing is off) and log a one-line summary at debug level.
+pub fn emit_exec_stats_event() {
+    let s = dynaddr_exec::exec_stats();
+    dynaddr_obs::debug!(
+        "exec: {} regions ({} sequential), {} tasks, utilization {:.2}, queue-wait {:.3} ms",
+        s.regions,
+        s.sequential_regions,
+        s.tasks,
+        s.utilization(),
+        s.queue_wait_ms()
+    );
+    if !dynaddr_obs::trace_enabled() {
+        return;
+    }
+    dynaddr_obs::emit_event(
+        "exec_stats",
+        &[
+            ("workers", dynaddr_obs::Value::U64(dynaddr_exec::current_threads() as u64)),
+            ("regions", dynaddr_obs::Value::U64(s.regions)),
+            ("sequential_regions", dynaddr_obs::Value::U64(s.sequential_regions)),
+            ("tasks", dynaddr_obs::Value::U64(s.tasks)),
+            ("tasks_per_worker", dynaddr_obs::Value::U64s(&s.tasks_per_worker)),
+            ("queue_wait_ms", dynaddr_obs::Value::F64(s.queue_wait_ms())),
+            ("utilization", dynaddr_obs::Value::F64(s.utilization())),
+        ],
+    );
 }
 
 #[cfg(test)]

@@ -311,10 +311,17 @@ pub fn analyze(
     snapshots: &MonthlySnapshots,
     cfg: &AnalysisConfig,
 ) -> AnalysisReport {
+    let _sp = dynaddr_obs::span("analyze");
     // ----- Filtering (Table 2) -------------------------------------------
-    let report = filter_probes(dataset, snapshots);
+    let report = {
+        let _sp = dynaddr_obs::span("filter_probes");
+        filter_probes(dataset, snapshots)
+    };
     // ----- Outage detection (the only other dataset consumer) ------------
-    let oa = outage_analysis(dataset, &report.probes);
+    let oa = {
+        let _sp = dynaddr_obs::span("outage_analysis");
+        outage_analysis(dataset, &report.probes)
+    };
     finish_analysis(report, oa, snapshots, cfg)
 }
 
@@ -344,8 +351,11 @@ pub fn analyze_streamed_batched(
     cfg: &AnalysisConfig,
     batch_probes: usize,
 ) -> Result<AnalysisReport, StoreError> {
+    let _sp = dynaddr_obs::span("analyze_streamed");
     // ----- Pass 1: filtering funnel + reboot detection --------------------
     let mut stream = DatasetStream::with_batch_probes(path, batch_probes)?;
+    let sp_pass1 = dynaddr_obs::span("pass1_filter_reboots");
+    let progress = dynaddr_obs::Progress::start("analyze_pass1", stream.total_probes());
     let mut filter = StreamingFilter::new();
     let mut all_reboots: Vec<Reboot> = Vec::new();
     while let Some(batch) = stream.next_batch()? {
@@ -357,7 +367,10 @@ pub fn analyze_streamed_batched(
         let fresh = &filter.probes()[prev..];
         all_reboots
             .extend(par_map_flat(fresh, |p| detect_reboots(batch.uptime_of(p.probe()))));
+        progress.add(batch.meta.len() as u64);
     }
+    progress.finish();
+    drop(sp_pass1);
     let report = filter.finish();
 
     // ----- Firmware series (needs the global reboot population) -----------
@@ -376,12 +389,15 @@ pub fn analyze_streamed_batched(
 
     // ----- Pass 2: outage detection + association -------------------------
     let mut stream = DatasetStream::with_batch_probes(path, batch_probes)?;
+    let sp_pass2 = dynaddr_obs::span("pass2_outages");
+    let progress = dynaddr_obs::Progress::start("analyze_pass2", stream.total_probes());
     let probes = &report.probes;
     let mut outages: Vec<AssociatedOutage> = Vec::new();
     // Analyzable probes are in ascending id order, so each batch consumes
     // a contiguous slice of them.
     let mut next = 0usize;
     while let Some(batch) = stream.next_batch()? {
+        progress.add(batch.meta.len() as u64);
         let Some(last) = batch.meta.last() else { continue };
         let hi = last.probe.0;
         let lo = next;
@@ -402,6 +418,8 @@ pub fn analyze_streamed_batched(
             found
         }));
     }
+    progress.finish();
+    drop(sp_pass2);
     let oa = OutageAnalysis { outages, reboots: cleaned, firmware };
     Ok(finish_analysis(report, oa, snapshots, cfg))
 }
@@ -416,6 +434,7 @@ fn finish_analysis(
     snapshots: &MonthlySnapshots,
     cfg: &AnalysisConfig,
 ) -> AnalysisReport {
+    let _sp = dynaddr_obs::span("finish_analysis");
     let name_of = |asn: u32| {
         cfg.as_names
             .get(&asn)

@@ -18,8 +18,111 @@
 //! zero threading overhead.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cumulative executor telemetry: how parallel regions actually ran.
+///
+/// Strictly observational — nothing in the executor branches on it, so it
+/// cannot affect chunking or output bytes. `tasks_per_worker[i]` counts the
+/// items handled by chunk slot `i` (slot, not OS thread: slot 0 is also the
+/// calling thread on sequential fast-paths). `spawn_wait_ns` accumulates
+/// spawn-to-first-instruction latency — the closest thing a scoped-thread
+/// pool has to queue wait. `utilization()` near `1/workers` is the
+/// signature of a serialized "parallel" region; near 1.0 means the chunks
+/// genuinely overlapped.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Parallel regions executed (every par_map/par_fold/par_run call).
+    pub regions: u64,
+    /// Regions that took the sequential fast-path (threads <= 1 or tiny input).
+    pub sequential_regions: u64,
+    /// Total items processed across all regions.
+    pub tasks: u64,
+    /// Items handled per worker slot, summed over regions.
+    pub tasks_per_worker: Vec<u64>,
+    /// Busy time per worker slot, summed over regions.
+    pub busy_ns_per_worker: Vec<u64>,
+    /// Wall-clock time summed over regions.
+    pub wall_ns: u64,
+    /// Total spawn-to-start latency across all spawned workers.
+    pub spawn_wait_ns: u64,
+    /// Workers actually spawned (0 for sequential fast-path regions).
+    pub spawned_workers: u64,
+}
+
+impl ExecStats {
+    /// Busy time across all workers divided by `wall_ns × slots`; 1.0 means
+    /// every slot was busy for the whole region time.
+    pub fn utilization(&self) -> f64 {
+        let slots = self.busy_ns_per_worker.len().max(1) as f64;
+        let busy: u64 = self.busy_ns_per_worker.iter().sum();
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        busy as f64 / (self.wall_ns as f64 * slots)
+    }
+
+    /// Mean spawn-to-start latency per spawned worker, in milliseconds.
+    pub fn queue_wait_ms(&self) -> f64 {
+        if self.spawned_workers == 0 {
+            return 0.0;
+        }
+        self.spawn_wait_ns as f64 / 1e6 / self.spawned_workers as f64
+    }
+
+    fn slot(&mut self, i: usize) -> (&mut u64, &mut u64) {
+        if self.tasks_per_worker.len() <= i {
+            self.tasks_per_worker.resize(i + 1, 0);
+            self.busy_ns_per_worker.resize(i + 1, 0);
+        }
+        (&mut self.tasks_per_worker[i], &mut self.busy_ns_per_worker[i])
+    }
+}
+
+static EXEC_STATS: Mutex<ExecStats> = Mutex::new(ExecStats {
+    regions: 0,
+    sequential_regions: 0,
+    tasks: 0,
+    tasks_per_worker: Vec::new(),
+    busy_ns_per_worker: Vec::new(),
+    wall_ns: 0,
+    spawn_wait_ns: 0,
+    spawned_workers: 0,
+});
+
+/// Snapshot of the cumulative executor telemetry.
+pub fn exec_stats() -> ExecStats {
+    EXEC_STATS.lock().unwrap().clone()
+}
+
+/// Reset the cumulative executor telemetry (benchmark iterations, tests).
+pub fn reset_exec_stats() {
+    *EXEC_STATS.lock().unwrap() = ExecStats::default();
+}
+
+/// Fold one region's per-slot measurements into the global stats. One lock
+/// acquisition per region, after workers have joined — never on the item
+/// path.
+fn record_region(per_slot: &[(u64, u64, u64)], wall_ns: u64, sequential: bool) {
+    let mut s = EXEC_STATS.lock().unwrap();
+    s.regions += 1;
+    if sequential {
+        s.sequential_regions += 1;
+    } else {
+        s.spawned_workers += per_slot.len() as u64;
+    }
+    s.wall_ns += wall_ns;
+    for (i, &(tasks, busy_ns, wait_ns)) in per_slot.iter().enumerate() {
+        s.tasks += tasks;
+        s.spawn_wait_ns += wait_ns;
+        let (t, b) = s.slot(i);
+        *t += tasks;
+        *b += busy_ns;
+    }
+}
 
 /// Sets (or with `None` clears) the process-wide worker-count override.
 /// Takes precedence over `DYNADDR_THREADS` and the detected parallelism.
@@ -53,19 +156,36 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let threads = current_threads().min(items.len().max(1));
+    let region_start = Instant::now();
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        let out: Vec<R> = items.iter().map(f).collect();
+        let busy = region_start.elapsed().as_nanos() as u64;
+        record_region(&[(items.len() as u64, busy, 0)], busy, true);
+        return out;
     }
     let chunk_size = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+    let mut measured: Vec<(Vec<R>, u64, u64, u64)> = std::thread::scope(|scope| {
+        let f = &f;
         let handles: Vec<_> = items
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .map(|chunk| {
+                let spawned_at = Instant::now();
+                scope.spawn(move || {
+                    let wait_ns = spawned_at.elapsed().as_nanos() as u64;
+                    let t0 = Instant::now();
+                    let out: Vec<R> = chunk.iter().map(f).collect();
+                    (out, chunk.len() as u64, t0.elapsed().as_nanos() as u64, wait_ns)
+                })
+            })
             .collect();
         handles.into_iter().map(|h| h.join().expect("par_map worker panicked")).collect()
     });
+    let wall_ns = region_start.elapsed().as_nanos() as u64;
+    let per_slot: Vec<(u64, u64, u64)> =
+        measured.iter().map(|&(_, tasks, busy, wait)| (tasks, busy, wait)).collect();
+    record_region(&per_slot, wall_ns, false);
     let mut out = Vec::with_capacity(items.len());
-    for chunk in &mut chunks {
+    for (chunk, ..) in &mut measured {
         out.append(chunk);
     }
     out
@@ -107,8 +227,13 @@ where
     M: Fn(A, A) -> A,
 {
     let threads = current_threads().min(items.len().max(1));
+    let region_start = Instant::now();
     if threads <= 1 {
-        return items.into_iter().fold(init(), fold);
+        let n = items.len() as u64;
+        let out = items.into_iter().fold(init(), fold);
+        let busy = region_start.elapsed().as_nanos() as u64;
+        record_region(&[(n, busy, 0)], busy, true);
+        return out;
     }
     let chunk_size = items.len().div_ceil(threads);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
@@ -120,15 +245,32 @@ where
         }
         chunks.push(chunk);
     }
-    let accs: Vec<A> = std::thread::scope(|scope| {
+    let measured: Vec<(A, u64, u64, u64)> = std::thread::scope(|scope| {
         let (init, fold) = (&init, &fold);
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().fold(init(), fold)))
+            .map(|chunk| {
+                let spawned_at = Instant::now();
+                scope.spawn(move || {
+                    let wait_ns = spawned_at.elapsed().as_nanos() as u64;
+                    let t0 = Instant::now();
+                    let n = chunk.len() as u64;
+                    let acc = chunk.into_iter().fold(init(), fold);
+                    (acc, n, t0.elapsed().as_nanos() as u64, wait_ns)
+                })
+            })
             .collect();
         handles.into_iter().map(|h| h.join().expect("par_fold worker panicked")).collect()
     });
-    accs.into_iter().reduce(merge).expect("at least one chunk")
+    let wall_ns = region_start.elapsed().as_nanos() as u64;
+    let per_slot: Vec<(u64, u64, u64)> =
+        measured.iter().map(|&(_, tasks, busy, wait)| (tasks, busy, wait)).collect();
+    record_region(&per_slot, wall_ns, false);
+    measured
+        .into_iter()
+        .map(|(acc, ..)| acc)
+        .reduce(merge)
+        .expect("at least one chunk")
 }
 
 /// Runs a set of heterogeneous tasks, one scoped thread each, returning
@@ -136,13 +278,34 @@ where
 /// on the calling thread. Use for a handful of coarse independent jobs
 /// (e.g. the pipeline's figure panels), not for fine-grained items.
 pub fn par_run<'env, R: Send>(tasks: Vec<Box<dyn FnOnce() -> R + Send + 'env>>) -> Vec<R> {
+    let region_start = Instant::now();
     if current_threads() <= 1 || tasks.len() <= 1 {
-        return tasks.into_iter().map(|t| t()).collect();
+        let n = tasks.len() as u64;
+        let out: Vec<R> = tasks.into_iter().map(|t| t()).collect();
+        let busy = region_start.elapsed().as_nanos() as u64;
+        record_region(&[(n, busy, 0)], busy, true);
+        return out;
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = tasks.into_iter().map(|t| scope.spawn(t)).collect();
+    let measured: Vec<(R, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .map(|t| {
+                let spawned_at = Instant::now();
+                scope.spawn(move || {
+                    let wait_ns = spawned_at.elapsed().as_nanos() as u64;
+                    let t0 = Instant::now();
+                    let out = t();
+                    (out, t0.elapsed().as_nanos() as u64, wait_ns)
+                })
+            })
+            .collect();
         handles.into_iter().map(|h| h.join().expect("par_run task panicked")).collect()
-    })
+    });
+    let wall_ns = region_start.elapsed().as_nanos() as u64;
+    let per_slot: Vec<(u64, u64, u64)> =
+        measured.iter().map(|&(_, busy, wait)| (1, busy, wait)).collect();
+    record_region(&per_slot, wall_ns, false);
+    measured.into_iter().map(|(out, ..)| out).collect()
 }
 
 #[cfg(test)]
@@ -282,6 +445,48 @@ mod tests {
         assert_eq!(current_threads(), 3);
         set_threads(None);
         assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn exec_stats_counts_tasks_and_workers() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        reset_exec_stats();
+        let items: Vec<u64> = (0..100).collect();
+        let _ = par_map(&items, |x| x + 1);
+        let s = exec_stats();
+        assert_eq!(s.regions, 1);
+        assert_eq!(s.sequential_regions, 0);
+        assert_eq!(s.tasks, 100);
+        assert_eq!(s.tasks_per_worker.iter().sum::<u64>(), 100);
+        assert_eq!(s.tasks_per_worker, vec![25, 25, 25, 25]);
+        assert_eq!(s.spawned_workers, 4);
+        assert!(s.wall_ns > 0);
+        assert!(s.utilization() >= 0.0 && s.utilization() <= 1.5);
+
+        set_threads(Some(1));
+        let _ = par_map(&items, |x| x + 1);
+        let s = exec_stats();
+        assert_eq!(s.regions, 2);
+        assert_eq!(s.sequential_regions, 1);
+        assert_eq!(s.tasks, 200);
+        assert_eq!(s.tasks_per_worker[0], 125);
+
+        reset_exec_stats();
+        assert_eq!(exec_stats(), ExecStats::default());
+        set_threads(None);
+    }
+
+    #[test]
+    fn exec_stats_does_not_change_results() {
+        let _guard = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..777).collect();
+        set_threads(Some(1));
+        let seq = par_fold(items.clone(), || 0u64, |a, x| a ^ x.rotate_left(7), |a, b| a ^ b);
+        set_threads(Some(6));
+        let par = par_fold(items, || 0u64, |a, x| a ^ x.rotate_left(7), |a, b| a ^ b);
+        assert_eq!(seq, par);
+        set_threads(None);
     }
 
     proptest! {

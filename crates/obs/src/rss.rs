@@ -1,0 +1,47 @@
+//! Resident-set-size sampling from `/proc/self/status`.
+//!
+//! `VmRSS` is the live resident set (heartbeats sample it); `VmHWM` is the
+//! process-lifetime high-water mark (reported once at exit as
+//! `peak_rss_bytes`). Returns 0 on platforms without procfs.
+
+fn status_field_bytes(key: &str) -> u64 {
+    let Ok(s) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in s.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            let kb: u64 = rest
+                .trim_start_matches(':')
+                .trim()
+                .trim_end_matches(" kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Current resident set size in bytes (`VmRSS`).
+pub fn rss_bytes() -> u64 {
+    status_field_bytes("VmRSS")
+}
+
+/// Peak resident set size in bytes (`VmHWM`).
+pub fn peak_rss_bytes() -> u64 {
+    status_field_bytes("VmHWM")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss_bytes() > 0);
+            assert!(peak_rss_bytes() >= rss_bytes() / 2);
+        }
+    }
+}

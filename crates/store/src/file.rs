@@ -107,6 +107,9 @@ impl FileWriter {
                 // Frame = 4-byte length prefix + body + 4-byte CRC.
                 len: (frame.len() - 8) as u64,
             });
+            dynaddr_obs::counter_add("store.segments_written", 1);
+            dynaddr_obs::counter_add("store.bytes_written", frame.len() as u64);
+            dynaddr_obs::hist_record("store.segment_bytes", frame.len() as u64);
             self.buf.extend_from_slice(&frame);
         }
     }
@@ -199,6 +202,9 @@ impl<W: Write> StreamWriter<W> {
             .write_all(&frame)
             .map_err(|e| StoreError::io(format!("write {} segment", R::TABLE_NAME), e))?;
         self.offset += frame.len() as u64;
+        dynaddr_obs::counter_add("store.segments_written", 1);
+        dynaddr_obs::counter_add("store.bytes_written", frame.len() as u64);
+        dynaddr_obs::hist_record("store.segment_bytes", frame.len() as u64);
         Ok(())
     }
 
@@ -301,6 +307,11 @@ impl<'a> FileReader<'a> {
             .collect();
         let decoded: Vec<Result<Vec<R>, StoreError>> =
             dynaddr_exec::par_map(&segs, |&(index, info)| self.decode_one::<R>(index, info));
+        dynaddr_obs::counter_add("store.segments_read", segs.len() as u64);
+        dynaddr_obs::counter_add(
+            "store.bytes_read",
+            segs.iter().map(|&(_, info)| info.len + 8).sum(),
+        );
         let mut rows = Vec::new();
         let mut dropped = Vec::new();
         for (result, &(index, info)) in decoded.into_iter().zip(&segs) {
@@ -308,13 +319,16 @@ impl<'a> FileReader<'a> {
                 Ok(mut seg_rows) => rows.append(&mut seg_rows),
                 Err(err) => match mode {
                     ReadMode::Strict => return Err(err),
-                    ReadMode::Recover => dropped.push(DroppedSegment {
-                        table: R::TABLE_NAME.to_string(),
-                        index,
-                        offset: info.offset,
-                        rows: info.rows,
-                        reason: err.to_string(),
-                    }),
+                    ReadMode::Recover => {
+                        dynaddr_obs::counter_add("store.recover_dropped_segments", 1);
+                        dropped.push(DroppedSegment {
+                            table: R::TABLE_NAME.to_string(),
+                            index,
+                            offset: info.offset,
+                            rows: info.rows,
+                            reason: err.to_string(),
+                        })
+                    }
                 },
             }
         }
@@ -456,6 +470,8 @@ impl SegmentFileReader {
             .seek(SeekFrom::Start(info.offset))
             .and_then(|_| self.file.read_exact(&mut frame))
             .map_err(|_| corrupt("segment extends past end of file".to_string()))?;
+        dynaddr_obs::counter_add("store.segments_read", 1);
+        dynaddr_obs::counter_add("store.bytes_read", frame.len() as u64);
         let inline_len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
         if u64::from(inline_len) != info.len {
             return Err(corrupt(format!(

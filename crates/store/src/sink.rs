@@ -98,6 +98,8 @@ impl SegmentSink {
                 .write_all(&frame)
                 .map_err(|e| StoreError::io(format!("spill {} segment", R::TABLE_NAME), e))?;
             self.offset += frame.len() as u64;
+            dynaddr_obs::counter_add("sink.spill_segments", 1);
+            dynaddr_obs::counter_add("sink.spill_bytes", frame.len() as u64);
         }
         Ok(())
     }
@@ -170,6 +172,8 @@ impl RunMerger {
             .enumerate()
             .filter_map(|(i, c)| c.peek().map(|k| Reverse((k, i))))
             .collect();
+        dynaddr_obs::gauge_max("sink.spill_runs", cursors.len() as u64);
+        dynaddr_obs::gauge_max("sink.merge_heap_depth", heap.len() as u64);
         let mut out: Vec<R> = Vec::with_capacity(w.segment_rows());
         while let Some(Reverse((_, ri))) = heap.pop() {
             // Everything below the runner-up's peek belongs to this run.

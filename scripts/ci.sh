@@ -32,6 +32,9 @@ grep -q '"store_decode"' "$SNAP"
 grep -q '"dataset_bytes"' "$SNAP"
 grep -q '"probes_per_sec"' "$SNAP"
 grep -q '"peak_rss_bytes"' "$SNAP"
+grep -q '"exec_stats"' "$SNAP"
+grep -q '"tasks_per_worker"' "$SNAP"
+grep -q '"trace_overhead_pct"' "$SNAP"
 
 echo "==> store round-trip smoke (scale 0.01, store vs jsonl)"
 # The same world written in both formats must analyze to identical reports.
@@ -67,6 +70,29 @@ cmp "$SMOKE/store/dataset.store" "$SMOKE/streamed/dataset.store"
 cargo run --release -q -p dynaddr-bench --bin analyze -- \
     --data "$SMOKE/streamed" --streamed --report "$SMOKE/streamed.txt" > /dev/null
 diff "$SMOKE/store.txt" "$SMOKE/streamed.txt"
+
+echo "==> traced pipeline smoke (scale 0.01, trace on vs off)"
+# Observability is strictly off the output path: with --trace the binaries
+# must write a valid JSONL sidecar (heartbeats, spans, executor stats)
+# while the dataset and report bytes stay identical to the untraced runs.
+cargo run --release -q -p dynaddr-bench --bin simulate -- \
+    --out "$SMOKE/traced" --scale 0.01 --seed 5 --streamed \
+    --trace "$SMOKE/simulate-trace.jsonl"
+cmp "$SMOKE/store/dataset.store" "$SMOKE/traced/dataset.store"
+DYNADDR_HEARTBEAT_SECS=0 cargo run --release -q -p dynaddr-bench --bin analyze -- \
+    --data "$SMOKE/traced" --streamed --report "$SMOKE/traced.txt" \
+    --trace "$SMOKE/analyze-trace.jsonl" > /dev/null
+diff "$SMOKE/store.txt" "$SMOKE/traced.txt"
+# Every sidecar line must be one valid JSON object.
+for TRACE in "$SMOKE/simulate-trace.jsonl" "$SMOKE/analyze-trace.jsonl"; do
+    test -s "$TRACE"
+    while IFS= read -r line; do
+        printf '%s\n' "$line" | python3 -m json.tool > /dev/null
+    done < "$TRACE"
+done
+grep -q '"ev":"exec_stats"' "$SMOKE/analyze-trace.jsonl"
+grep -q '"ev":"heartbeat"' "$SMOKE/analyze-trace.jsonl"
+grep -q '"ev":"span"' "$SMOKE/analyze-trace.jsonl"
 
 echo "==> paper-tier streamed smoke (memory ceiling)"
 # The full 10,977-probe tier must analyze out-of-core under 150 MiB peak

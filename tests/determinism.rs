@@ -242,3 +242,45 @@ fn shard_local_build_matches_serial_build_byte_for_byte() {
         }
     }
 }
+
+#[test]
+fn tracing_never_changes_a_report_byte() {
+    // Observability is strictly off the output path: the report must be
+    // byte-identical with the JSONL trace sink on and off, at every worker
+    // count. Heartbeats are forced hot (0-second interval) so the traced
+    // runs actually exercise the emit path, not just the enabled check.
+    let untraced = serde_json::to_string(&report_at(Some(1))).expect("serializes");
+
+    let path = std::env::temp_dir()
+        .join(format!("dynaddr-determinism-trace-{}.jsonl", std::process::id()));
+    std::env::set_var("DYNADDR_HEARTBEAT_SECS", "0");
+    for threads in [Some(1), Some(2), Some(64), None] {
+        dynaddr_obs::init_trace(&path).expect("create trace sink");
+        let traced = serde_json::to_string(&report_at(threads)).expect("serializes");
+        dynaddr_obs::flush_trace();
+        dynaddr_obs::disable_trace();
+        assert_eq!(
+            untraced, traced,
+            "tracing changed the report at threads={threads:?}"
+        );
+    }
+    std::env::remove_var("DYNADDR_HEARTBEAT_SECS");
+
+    // The sidecar itself must be real JSONL: every line parses, and the
+    // last traced run produced span events.
+    let sidecar = std::fs::read_to_string(&path).expect("read trace sidecar");
+    let mut spans = 0usize;
+    for line in sidecar.lines() {
+        let v: serde::Value = serde_json::from_str(line).expect("each trace line is JSON");
+        let serde::Value::Object(fields) = v else {
+            panic!("trace line is not an object: {line}");
+        };
+        let (_, ev) =
+            fields.iter().find(|(k, _)| k == "ev").expect("trace event has an ev field");
+        if *ev == serde::Value::Str("span".to_string()) {
+            spans += 1;
+        }
+    }
+    assert!(spans > 0, "traced run produced no span events");
+    std::fs::remove_file(&path).ok();
+}
