@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   perfsnap [--scale S | --tier NAME] [--seed N] [--iters K] [--out FILE]
-//!            [--tiers LIST] [--trace FILE]
+//!            [--tiers LIST] [--lookups N] [--trace FILE]
 //!
 //! Times the simulator and each pipeline stage at the default
 //! `paper_world(0.05, 11)` twice — once pinned to one thread, once at the
@@ -29,6 +29,15 @@
 //! the usual JSONL sidecar for the snapshot run itself; the warm-up pass
 //! appears there as an explicit `warmup: true` span, and the ladder's tier
 //! children always run untraced.
+//!
+//! The `query` section benchmarks the serving layer (`dynaddr-query`): a
+//! fresh cache-cold `QueryEngine` over the snapshot's own dataset answers
+//! `--lookups` seeded zipf-skewed requests at 1, 2, and ambient thread
+//! counts, recording throughput, cache hit rate, and latency quantiles.
+//! Each run folds its responses into an order-independent digest; perfsnap
+//! exits nonzero (after writing the snapshot) if the digests differ across
+//! thread counts — the cheap, always-on form of the crate's determinism
+//! tests — or if the ambient run's cache hit rate falls below 80%.
 
 use dynaddr_atlas::world::{paper_route_tables, paper_world};
 use dynaddr_atlas::{simulate, simulate_instrumented, simulate_to_store, SimOptions, SimOutput};
@@ -48,9 +57,33 @@ use std::time::Instant;
 #[derive(Serialize)]
 struct StageTiming {
     stage: &'static str,
+    /// Worker threads of the first column (always 1).
+    threads_1: usize,
+    /// Worker threads of the second column (the host's parallelism).
+    threads_max: usize,
     ms_threads_1: f64,
     ms_threads_max: f64,
     speedup: f64,
+}
+
+/// One thread-count run of the query-serving benchmark.
+#[derive(Serialize)]
+struct QueryStage {
+    /// Worker threads driving the engine.
+    threads: usize,
+    /// Requests answered.
+    lookups: u64,
+    /// Requests answered per wall-clock second.
+    lookups_per_sec: f64,
+    /// Segment-cache hit rate over the run (cold start).
+    cache_hit_rate: f64,
+    /// Median per-request latency, microseconds (log2-bucket upper bound).
+    latency_p50_us: u64,
+    /// 99th-percentile per-request latency, microseconds.
+    latency_p99_us: u64,
+    /// Order-independent digest of all response bytes; must match across
+    /// thread counts.
+    digest: String,
 }
 
 #[derive(Serialize)]
@@ -107,6 +140,8 @@ struct DiskSizes {
 struct TierResult {
     tier: String,
     scale: f64,
+    /// Worker threads the tier child ran with (its ambient parallelism).
+    threads: usize,
     /// Probes the tier's world produced.
     probes: u64,
     /// Wall seconds for `simulate_to_store` (shards stream to disk).
@@ -144,6 +179,8 @@ struct Snapshot {
     /// (interleaved best-of; budget is 2%).
     trace_overhead_pct: f64,
     stages: Vec<StageTiming>,
+    /// The query-serving benchmark, one cache-cold run per thread count.
+    query: Vec<QueryStage>,
     /// The streamed scale ladder, one isolated process per tier.
     tiers: Vec<TierResult>,
 }
@@ -181,6 +218,7 @@ fn run_tier_child(name: &str, seed: u64) -> ! {
     let result = TierResult {
         tier: name.to_string(),
         scale,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         probes,
         simulate_s,
         analyze_s,
@@ -196,6 +234,7 @@ fn main() {
     let mut tier = String::new();
     let mut seed = 11u64;
     let mut iters = 3usize;
+    let mut lookups = 1_000_000u64;
     let mut out: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut ladder: Vec<String> = vec!["s005".into(), "s02".into(), "paper".into()];
@@ -232,6 +271,9 @@ fn main() {
             }
             "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric"),
             "--iters" => iters = args.next().expect("--iters value").parse().expect("numeric"),
+            "--lookups" => {
+                lookups = args.next().expect("--lookups value").parse().expect("numeric")
+            }
             "--out" => out = Some(PathBuf::from(args.next().expect("--out file"))),
             // Deferred: the trace-overhead measurement must run with its own
             // scratch sink first, so the user's sidecar opens after it.
@@ -250,7 +292,7 @@ fn main() {
                 error!("unknown argument {other}");
                 eprintln!(
                     "usage: perfsnap [--scale S | --tier NAME] [--seed N] [--iters K] \
-                     [--out FILE] [--tiers LIST] [--trace FILE]"
+                     [--out FILE] [--tiers LIST] [--lookups N] [--trace FILE]"
                 );
                 std::process::exit(2);
             }
@@ -333,11 +375,17 @@ fn main() {
         .zip(many)
         .map(|((stage, ms1), (_, msn))| StageTiming {
             stage,
+            threads_1: 1,
+            threads_max: max_threads,
             ms_threads_1: ms1,
             ms_threads_max: msn,
             speedup: if msn > 0.0 { ms1 / msn } else { 0.0 },
         })
         .collect();
+
+    // The query-serving benchmark: cache-cold engine per thread count over
+    // this snapshot's own dataset and truth.
+    let query = run_query_bench(&sim_out, &snaps, seed, lookups, max_threads);
 
     // The streamed scale ladder: one child process per tier so each
     // peak-RSS number is that tier's alone.
@@ -378,6 +426,7 @@ fn main() {
         exec_stats,
         trace_overhead_pct: trace_overhead.pct,
         stages,
+        query,
         tiers,
     };
     let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
@@ -388,8 +437,8 @@ fn main() {
     dynaddr_obs::flush_trace();
     dynaddr_obs::disable_trace();
 
-    // The overhead budget is enforced after the snapshot is on disk, so a
-    // blown budget still leaves the measurement recorded. The 10 ms floor
+    // Budget and correctness gates run after the snapshot is on disk, so a
+    // failed gate still leaves the measurement recorded. The 10 ms floor
     // keeps scheduler jitter on sub-millisecond stages from flaking CI.
     if trace_overhead.pct > 2.0 && trace_overhead.delta_ms > 10.0 {
         error!(
@@ -398,6 +447,128 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if let Some(first) = snap.query.first() {
+        if let Some(bad) = snap.query.iter().find(|q| q.digest != first.digest) {
+            error!(
+                "query responses diverged: digest {} at {} threads vs {} at {} threads",
+                bad.digest, bad.threads, first.digest, first.threads
+            );
+            std::process::exit(1);
+        }
+        let ambient = snap.query.last().expect("non-empty");
+        if ambient.cache_hit_rate < 0.80 {
+            error!(
+                "query cache hit rate {:.1}% at {} threads is below the 80% budget",
+                ambient.cache_hit_rate * 100.0,
+                ambient.threads
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Drives `lookups` seeded workload requests through a cache-cold
+/// [`dynaddr_query::QueryEngine`] at each thread count (1, 2, ambient —
+/// deduplicated). Worker `k` of `t` answers indices `i % t == k`, so
+/// every run replays the identical request sequence; responses fold into
+/// an order-independent digest for the cross-thread-count identity gate.
+fn run_query_bench(
+    sim_out: &SimOutput,
+    snaps: &MonthlySnapshots,
+    seed: u64,
+    lookups: u64,
+    max_threads: usize,
+) -> Vec<QueryStage> {
+    use dynaddr_query::workload::splitmix64;
+    use dynaddr_query::{proto, EngineOptions, QueryEngine, Workload};
+
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    let store_bytes = sim_out.dataset.to_store_bytes();
+    let mut counts = vec![1usize, 2, max_threads];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut out = Vec::new();
+    for threads in counts {
+        // Fresh engine per run: the cache starts cold and the hit rate
+        // measures this run's warming alone.
+        let engine = QueryEngine::from_parts(
+            store_bytes.clone(),
+            snaps,
+            Some(&sim_out.truth),
+            &EngineOptions::default(),
+        )
+        .expect("engine opens over the snapshot dataset");
+        let stats = engine.stats();
+        let workload = Workload::new(
+            seed,
+            stats.probes(),
+            stats.asns(),
+            stats.countries(),
+            engine.truth_available(),
+        );
+
+        let t0 = Instant::now();
+        let mut digest = 0u64;
+        let mut latency = dynaddr_obs::Histogram::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let engine = &engine;
+                    let workload = &workload;
+                    scope.spawn(move || {
+                        let mut digest = 0u64;
+                        let mut hist = dynaddr_obs::Histogram::default();
+                        for i in (worker as u64..lookups).step_by(threads) {
+                            let req = workload.request(i);
+                            let q0 = Instant::now();
+                            let resp = engine.query(&req);
+                            hist.record(q0.elapsed().as_micros() as u64);
+                            let bytes = proto::to_bytes(&resp);
+                            digest ^= splitmix64(fnv1a64(&bytes) ^ i);
+                        }
+                        (digest, hist)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (d, hist) = h.join().expect("query worker panicked");
+                digest ^= d;
+                latency.merge(&hist);
+            }
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let cache = engine.cache_stats();
+        engine.publish_metrics();
+        dynaddr_obs::hist_merge("query.latency_us", &latency);
+        let stage = QueryStage {
+            threads,
+            lookups,
+            lookups_per_sec: if wall_s > 0.0 { lookups as f64 / wall_s } else { 0.0 },
+            cache_hit_rate: cache.hit_rate(),
+            latency_p50_us: latency.quantile(0.5),
+            latency_p99_us: latency.quantile(0.99),
+            digest: format!("{digest:016x}"),
+        };
+        info!(
+            "query @{} threads: {:.0} lookups/s, hit rate {:.1}%, p50 {} µs, p99 {} µs",
+            stage.threads,
+            stage.lookups_per_sec,
+            stage.cache_hit_rate * 100.0,
+            stage.latency_p50_us,
+            stage.latency_p99_us
+        );
+        out.push(stage);
+    }
+    out
 }
 
 /// Result of the traced-vs-untraced comparison.

@@ -1,0 +1,106 @@
+//! `queryc` — replay a seeded workload against `queryd` or locally.
+//!
+//! ```text
+//! queryc --data DIR [--socket PATH] [--count N] [--seed S] [--out FILE]
+//! ```
+//!
+//! Builds the workload operand universe from `DIR` (so the request
+//! sequence is identical however it is answered), then answers each
+//! request remotely (`--socket`) or from the batch-loaded dataset.
+//! Output is one line per request — `<index> <hex of response bytes>` —
+//! which makes runs diffable: remote vs local, cold vs warm. That diff is
+//! the CI query smoke.
+
+#[cfg(unix)]
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("queryc: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("queryc: unix sockets are not available on this platform");
+    std::process::exit(1);
+}
+
+#[cfg(unix)]
+fn run() -> Result<(), String> {
+    use dynaddr_query::{proto, LocalAnswerer, QueryClient, Workload};
+    use std::io::Write;
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    let mut data: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut count: u64 = 100;
+    let mut seed: u64 = 0xD15EA5E;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--data" => data = Some(PathBuf::from(value("--data")?)),
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--count" => {
+                count = value("--count")?.parse().map_err(|e| format!("--count: {e}"))?
+            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: queryc --data DIR [--socket PATH] [--count N] \
+                     [--seed S] [--out FILE]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let data = data.ok_or("--data is required")?;
+
+    let local = LocalAnswerer::open_dir(&data).map_err(|e| e.to_string())?;
+    let stats = local.stats();
+    let workload = Workload::new(
+        seed,
+        stats.probes(),
+        stats.asns(),
+        stats.countries(),
+        local.truth_available(),
+    );
+
+    let mut client = match &socket {
+        Some(path) => Some(
+            QueryClient::connect_retry(path, Duration::from_secs(10))
+                .map_err(|e| format!("{}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+
+    let mut sink: Box<dyn Write> = match &out {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?,
+        )),
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+    for i in 0..count {
+        let req = workload.request(i);
+        let bytes = match &mut client {
+            Some(c) => c.request_bytes(&req).map_err(|e| format!("request {i}: {e}"))?,
+            None => proto::to_bytes(&local.answer(&req)),
+        };
+        let mut line = String::with_capacity(bytes.len() * 2 + 24);
+        line.push_str(&i.to_string());
+        line.push(' ');
+        for b in bytes {
+            line.push_str(&format!("{b:02x}"));
+        }
+        line.push('\n');
+        sink.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+    }
+    sink.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,1017 @@
+//! Typed request/response protocol and its wire codec.
+//!
+//! The protocol surface is one enum pair — [`Request`] in, [`Response`]
+//! out — usable directly in-process (the engine's `query` method) and
+//! across a socket. On the wire each message is a **frame**:
+//!
+//! ```text
+//! +----------------+----------------------------+
+//! | u32 LE length  | body (length bytes)        |
+//! +----------------+----------------------------+
+//! ```
+//!
+//! The body is the message encoded bincode-style by hand: a leading tag
+//! byte selects the variant, integers travel as LEB128 varints (signed
+//! values zigzag first — the same `dynaddr_store::varint` primitives the
+//! store format uses), byte strings and sequences are length-prefixed,
+//! `Option` is a presence byte. There is no self-description: both ends
+//! share this module, exactly like the store's column codecs share
+//! theirs. Encoding is deterministic — equal values produce equal bytes —
+//! which is what lets the determinism tests compare responses byte for
+//! byte across thread counts and cache states.
+//!
+//! Frames are capped at [`MAX_FRAME`] on read so a corrupt or hostile
+//! length prefix cannot ask the peer to allocate gigabytes.
+
+use dynaddr_store::varint;
+use dynaddr_types::{Asn, ProbeId};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame body accepted from the wire (64 MiB).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A query, as issued by clients and answered by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness check; answered with [`Response::Pong`].
+    Ping,
+    /// Everything one probe contributed to the dataset, row for row.
+    ProbeRecords(ProbeId),
+    /// One probe's decoded series: address changes/spans/gaps, detected
+    /// network outages, detected reboots.
+    ProbeSeries(ProbeId),
+    /// Aggregate over every probe mapped to an AS.
+    AsSummary(Asn),
+    /// Aggregate over every probe registered in a country (ISO alpha-2).
+    CountrySummary(String),
+    /// The `n` probes with the most observed address changes.
+    TopMovers(u32),
+    /// One probe's ground-truth changes and outages (requires a
+    /// `truth.store` beside the dataset; answered `None` otherwise).
+    ProbeTruth(ProbeId),
+}
+
+/// The answer to a [`Request`], variant for variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::ProbeRecords`].
+    ProbeRecords(ProbeRecordsReply),
+    /// Answer to [`Request::ProbeSeries`].
+    ProbeSeries(ProbeSeriesReply),
+    /// Answer to [`Request::AsSummary`]; `None` for an unknown AS.
+    AsSummary(Option<AsSummaryReply>),
+    /// Answer to [`Request::CountrySummary`]; `None` for an unknown code.
+    CountrySummary(Option<CountrySummaryReply>),
+    /// Answer to [`Request::TopMovers`].
+    TopMovers(Vec<MoverReply>),
+    /// Answer to [`Request::ProbeTruth`]; `None` when no truth is loaded.
+    ProbeTruth(Option<ProbeTruthReply>),
+    /// The query failed (e.g. a corrupt segment); the message names why.
+    Error(String),
+}
+
+/// Probe metadata on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaReply {
+    /// Hardware generation code (1, 2, 3).
+    pub version: u8,
+    /// ISO alpha-2 country code.
+    pub country: String,
+    /// Tag codes (the store's fixed numbering).
+    pub tags: Vec<u8>,
+}
+
+/// One connection-log row on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnReply {
+    /// Connection establishment time (seconds).
+    pub start: i64,
+    /// Last data receipt time (seconds).
+    pub end: i64,
+    /// Peer address octets: 4 bytes for IPv4, 16 for IPv6.
+    pub peer: Vec<u8>,
+}
+
+/// One k-root ping row on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KrootReply {
+    /// Measurement time.
+    pub timestamp: i64,
+    /// Pings sent.
+    pub sent: u8,
+    /// Pings answered.
+    pub success: u8,
+    /// Seconds since last clock sync.
+    pub lts_secs: i64,
+}
+
+/// One SOS-uptime row on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UptimeReply {
+    /// Report time.
+    pub timestamp: i64,
+    /// Seconds since boot.
+    pub uptime_secs: u64,
+}
+
+/// Answer payload for [`Request::ProbeRecords`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbeRecordsReply {
+    /// The probe asked about.
+    pub probe: u32,
+    /// Metadata row, if present.
+    pub meta: Option<MetaReply>,
+    /// Connection-log rows, in store order.
+    pub connections: Vec<ConnReply>,
+    /// K-root ping rows, in store order.
+    pub kroot: Vec<KrootReply>,
+    /// SOS-uptime rows, in store order.
+    pub uptime: Vec<UptimeReply>,
+}
+
+/// One observed address change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeReply {
+    /// End of the last connection on the old address.
+    pub gap_start: i64,
+    /// Start of the first connection on the new address.
+    pub gap_end: i64,
+    /// Old IPv4 address octets.
+    pub from: [u8; 4],
+    /// New IPv4 address octets.
+    pub to: [u8; 4],
+}
+
+/// One address span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanReply {
+    /// The address held.
+    pub addr: [u8; 4],
+    /// First connection start with this address.
+    pub start: i64,
+    /// Last connection end with this address.
+    pub end: i64,
+    /// Whether both ends are bounded by observed changes.
+    pub complete: bool,
+}
+
+/// One inter-connection gap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GapReply {
+    /// End of the earlier connection.
+    pub start: i64,
+    /// Start of the later connection.
+    pub end: i64,
+    /// Whether the address differed across the gap.
+    pub address_changed: bool,
+}
+
+/// One detected network outage (k-root silence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutageReply {
+    /// First all-lost measurement.
+    pub start: i64,
+    /// Last all-lost measurement.
+    pub end: i64,
+}
+
+/// One detected reboot (uptime counter reset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebootReply {
+    /// Boot instant implied by the counter.
+    pub boot_time: i64,
+    /// When the post-reboot record was reported.
+    pub report_time: i64,
+}
+
+/// Answer payload for [`Request::ProbeSeries`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbeSeriesReply {
+    /// The probe asked about.
+    pub probe: u32,
+    /// Metadata row, if present.
+    pub meta: Option<MetaReply>,
+    /// Observed address changes, in time order.
+    pub changes: Vec<ChangeReply>,
+    /// Address spans, in time order.
+    pub spans: Vec<SpanReply>,
+    /// Inter-connection gaps, in time order.
+    pub gaps: Vec<GapReply>,
+    /// Detected network outages, in time order.
+    pub outages: Vec<OutageReply>,
+    /// Detected reboots, in time order.
+    pub reboots: Vec<RebootReply>,
+    /// Whether a leading RIPE-testing-address entry was stripped.
+    pub had_testing_entry: bool,
+    /// IPv6 connection entries excluded from event extraction.
+    pub v6_entries: u64,
+}
+
+/// One high-churn probe in a mover list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoverReply {
+    /// The probe.
+    pub probe: u32,
+    /// Raw observed address transitions (v4, testing entries included).
+    pub changes: u64,
+    /// The AS its first observed v4 address mapped to (0 = unmapped).
+    pub asn: u32,
+    /// Registered country code.
+    pub country: String,
+}
+
+/// Answer payload for [`Request::AsSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsSummaryReply {
+    /// The AS.
+    pub asn: u32,
+    /// Probes mapped to it.
+    pub probes: u64,
+    /// Their connection rows.
+    pub connections: u64,
+    /// Of those, IPv6 rows.
+    pub v6_connections: u64,
+    /// Raw observed address transitions across all its probes.
+    pub changes: u64,
+    /// Summed v4 connection time, seconds.
+    pub online_secs: u64,
+    /// Probe count per registered country, sorted by code.
+    pub countries: Vec<(String, u64)>,
+    /// Its top 5 probes by change count.
+    pub top_movers: Vec<MoverReply>,
+}
+
+/// Answer payload for [`Request::CountrySummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountrySummaryReply {
+    /// ISO alpha-2 code.
+    pub country: String,
+    /// Probes registered there.
+    pub probes: u64,
+    /// Their connection rows.
+    pub connections: u64,
+    /// Of those, IPv6 rows.
+    pub v6_connections: u64,
+    /// Raw observed address transitions across its probes.
+    pub changes: u64,
+    /// Summed v4 connection time, seconds.
+    pub online_secs: u64,
+    /// Probe count per AS, sorted by ASN.
+    pub asns: Vec<(u32, u64)>,
+    /// Its top 5 probes by change count.
+    pub top_movers: Vec<MoverReply>,
+}
+
+/// One ground-truth change on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthChangeReply {
+    /// When the new address took effect.
+    pub time: i64,
+    /// Address before the change (absent at first assignment).
+    pub from: Option<[u8; 4]>,
+    /// Address after the change.
+    pub to: [u8; 4],
+    /// Cause code (the store's fixed `ChangeCause` numbering).
+    pub cause: u8,
+}
+
+/// One ground-truth outage on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthOutageReply {
+    /// Kind code (the store's fixed `TruthOutageKind` numbering).
+    pub kind: u8,
+    /// When connectivity/power was lost.
+    pub start: i64,
+    /// Duration, seconds.
+    pub duration: i64,
+    /// Whether recovery came with a new address.
+    pub address_changed: bool,
+}
+
+/// Answer payload for [`Request::ProbeTruth`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbeTruthReply {
+    /// The probe asked about.
+    pub probe: u32,
+    /// Its ground-truth changes, in time order.
+    pub changes: Vec<TruthChangeReply>,
+    /// Its ground-truth outages, in time order.
+    pub outages: Vec<TruthOutageReply>,
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+/// A malformed message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over a message body.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        varint::read_u64(self.buf, &mut self.pos).map_err(|e| WireError(e.reason))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        varint::read_i64(self.buf, &mut self.pos).map_err(|e| WireError(e.reason))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.u64()?).map_err(|_| WireError("u32 out of range".into()))
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| WireError("truncated".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            n => Err(WireError(format!("bool byte {n}"))),
+        }
+    }
+
+    fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| WireError("length overflow".into()))?;
+        if end > self.buf.len() {
+            return Err(WireError("truncated".into()));
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u64()? as usize;
+        Ok(self.raw(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError("string is not UTF-8".into()))
+    }
+
+    fn octets4(&mut self) -> Result<[u8; 4], WireError> {
+        Ok(self.raw(4)?.try_into().expect("4 bytes"))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError(format!("{} trailing bytes", self.buf.len() - self.pos)))
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    varint::write_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// A value with a deterministic binary form.
+pub trait Wire: Sized {
+    /// Appends the encoding to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Decodes one value at the reader's cursor.
+    fn take(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+impl Wire for u64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, *self);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<u64, WireError> {
+        r.u64()
+    }
+}
+
+impl Wire for u32 {
+    fn put(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, u64::from(*self));
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<u32, WireError> {
+        r.u32()
+    }
+}
+
+impl Wire for i64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        varint::write_i64(out, *self);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<i64, WireError> {
+        r.i64()
+    }
+}
+
+impl Wire for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_bytes(out, self.as_bytes());
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<String, WireError> {
+        r.string()
+    }
+}
+
+impl Wire for [u8; 4] {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<[u8; 4], WireError> {
+        r.octets4()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.put(out);
+            }
+        }
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<Option<T>, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::take(r)?)),
+            n => Err(WireError(format!("option byte {n}"))),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.len() as u64);
+        for v in self {
+            v.put(out);
+        }
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<Vec<T>, WireError> {
+        let n = r.u64()? as usize;
+        // Guard against a hostile count: cap the pre-allocation, let the
+        // truncation check catch the lie.
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(T::take(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<(A, B), WireError> {
+        Ok((A::take(r)?, B::take(r)?))
+    }
+}
+
+impl Wire for MetaReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(self.version);
+        self.country.put(out);
+        put_bytes(out, &self.tags);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<MetaReply, WireError> {
+        Ok(MetaReply { version: r.u8()?, country: r.string()?, tags: r.bytes()? })
+    }
+}
+
+impl Wire for ConnReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.start.put(out);
+        self.end.put(out);
+        put_bytes(out, &self.peer);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<ConnReply, WireError> {
+        Ok(ConnReply { start: r.i64()?, end: r.i64()?, peer: r.bytes()? })
+    }
+}
+
+impl Wire for KrootReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.timestamp.put(out);
+        out.push(self.sent);
+        out.push(self.success);
+        self.lts_secs.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<KrootReply, WireError> {
+        Ok(KrootReply {
+            timestamp: r.i64()?,
+            sent: r.u8()?,
+            success: r.u8()?,
+            lts_secs: r.i64()?,
+        })
+    }
+}
+
+impl Wire for UptimeReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.timestamp.put(out);
+        self.uptime_secs.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<UptimeReply, WireError> {
+        Ok(UptimeReply { timestamp: r.i64()?, uptime_secs: r.u64()? })
+    }
+}
+
+impl Wire for ProbeRecordsReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.probe.put(out);
+        self.meta.put(out);
+        self.connections.put(out);
+        self.kroot.put(out);
+        self.uptime.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<ProbeRecordsReply, WireError> {
+        Ok(ProbeRecordsReply {
+            probe: r.u32()?,
+            meta: <Option<_> as Wire>::take(r)?,
+            connections: <Vec<_> as Wire>::take(r)?,
+            kroot: <Vec<_> as Wire>::take(r)?,
+            uptime: <Vec<_> as Wire>::take(r)?,
+        })
+    }
+}
+
+impl Wire for ChangeReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.gap_start.put(out);
+        self.gap_end.put(out);
+        self.from.put(out);
+        self.to.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<ChangeReply, WireError> {
+        Ok(ChangeReply {
+            gap_start: r.i64()?,
+            gap_end: r.i64()?,
+            from: r.octets4()?,
+            to: r.octets4()?,
+        })
+    }
+}
+
+impl Wire for SpanReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.addr.put(out);
+        self.start.put(out);
+        self.end.put(out);
+        out.push(u8::from(self.complete));
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<SpanReply, WireError> {
+        Ok(SpanReply { addr: r.octets4()?, start: r.i64()?, end: r.i64()?, complete: r.bool()? })
+    }
+}
+
+impl Wire for GapReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.start.put(out);
+        self.end.put(out);
+        out.push(u8::from(self.address_changed));
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<GapReply, WireError> {
+        Ok(GapReply { start: r.i64()?, end: r.i64()?, address_changed: r.bool()? })
+    }
+}
+
+impl Wire for OutageReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.start.put(out);
+        self.end.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<OutageReply, WireError> {
+        Ok(OutageReply { start: r.i64()?, end: r.i64()? })
+    }
+}
+
+impl Wire for RebootReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.boot_time.put(out);
+        self.report_time.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<RebootReply, WireError> {
+        Ok(RebootReply { boot_time: r.i64()?, report_time: r.i64()? })
+    }
+}
+
+impl Wire for ProbeSeriesReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.probe.put(out);
+        self.meta.put(out);
+        self.changes.put(out);
+        self.spans.put(out);
+        self.gaps.put(out);
+        self.outages.put(out);
+        self.reboots.put(out);
+        out.push(u8::from(self.had_testing_entry));
+        self.v6_entries.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<ProbeSeriesReply, WireError> {
+        Ok(ProbeSeriesReply {
+            probe: r.u32()?,
+            meta: <Option<_> as Wire>::take(r)?,
+            changes: <Vec<_> as Wire>::take(r)?,
+            spans: <Vec<_> as Wire>::take(r)?,
+            gaps: <Vec<_> as Wire>::take(r)?,
+            outages: <Vec<_> as Wire>::take(r)?,
+            reboots: <Vec<_> as Wire>::take(r)?,
+            had_testing_entry: r.bool()?,
+            v6_entries: r.u64()?,
+        })
+    }
+}
+
+impl Wire for MoverReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.probe.put(out);
+        self.changes.put(out);
+        self.asn.put(out);
+        self.country.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<MoverReply, WireError> {
+        Ok(MoverReply {
+            probe: r.u32()?,
+            changes: r.u64()?,
+            asn: r.u32()?,
+            country: r.string()?,
+        })
+    }
+}
+
+impl Wire for AsSummaryReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.asn.put(out);
+        self.probes.put(out);
+        self.connections.put(out);
+        self.v6_connections.put(out);
+        self.changes.put(out);
+        self.online_secs.put(out);
+        self.countries.put(out);
+        self.top_movers.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<AsSummaryReply, WireError> {
+        Ok(AsSummaryReply {
+            asn: r.u32()?,
+            probes: r.u64()?,
+            connections: r.u64()?,
+            v6_connections: r.u64()?,
+            changes: r.u64()?,
+            online_secs: r.u64()?,
+            countries: <Vec<_> as Wire>::take(r)?,
+            top_movers: <Vec<_> as Wire>::take(r)?,
+        })
+    }
+}
+
+impl Wire for CountrySummaryReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.country.put(out);
+        self.probes.put(out);
+        self.connections.put(out);
+        self.v6_connections.put(out);
+        self.changes.put(out);
+        self.online_secs.put(out);
+        self.asns.put(out);
+        self.top_movers.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<CountrySummaryReply, WireError> {
+        Ok(CountrySummaryReply {
+            country: r.string()?,
+            probes: r.u64()?,
+            connections: r.u64()?,
+            v6_connections: r.u64()?,
+            changes: r.u64()?,
+            online_secs: r.u64()?,
+            asns: <Vec<_> as Wire>::take(r)?,
+            top_movers: <Vec<_> as Wire>::take(r)?,
+        })
+    }
+}
+
+impl Wire for TruthChangeReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.time.put(out);
+        self.from.put(out);
+        self.to.put(out);
+        out.push(self.cause);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<TruthChangeReply, WireError> {
+        Ok(TruthChangeReply {
+            time: r.i64()?,
+            from: <Option<_> as Wire>::take(r)?,
+            to: r.octets4()?,
+            cause: r.u8()?,
+        })
+    }
+}
+
+impl Wire for TruthOutageReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(self.kind);
+        self.start.put(out);
+        self.duration.put(out);
+        out.push(u8::from(self.address_changed));
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<TruthOutageReply, WireError> {
+        Ok(TruthOutageReply {
+            kind: r.u8()?,
+            start: r.i64()?,
+            duration: r.i64()?,
+            address_changed: r.bool()?,
+        })
+    }
+}
+
+impl Wire for ProbeTruthReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.probe.put(out);
+        self.changes.put(out);
+        self.outages.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<ProbeTruthReply, WireError> {
+        Ok(ProbeTruthReply { probe: r.u32()?, changes: <Vec<_> as Wire>::take(r)?, outages: <Vec<_> as Wire>::take(r)? })
+    }
+}
+
+impl Wire for Request {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Ping => out.push(0),
+            Request::ProbeRecords(p) => {
+                out.push(1);
+                p.0.put(out);
+            }
+            Request::ProbeSeries(p) => {
+                out.push(2);
+                p.0.put(out);
+            }
+            Request::AsSummary(a) => {
+                out.push(3);
+                a.0.put(out);
+            }
+            Request::CountrySummary(cc) => {
+                out.push(4);
+                cc.put(out);
+            }
+            Request::TopMovers(n) => {
+                out.push(5);
+                n.put(out);
+            }
+            Request::ProbeTruth(p) => {
+                out.push(6);
+                p.0.put(out);
+            }
+        }
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<Request, WireError> {
+        Ok(match r.u8()? {
+            0 => Request::Ping,
+            1 => Request::ProbeRecords(ProbeId(r.u32()?)),
+            2 => Request::ProbeSeries(ProbeId(r.u32()?)),
+            3 => Request::AsSummary(Asn(r.u32()?)),
+            4 => Request::CountrySummary(r.string()?),
+            5 => Request::TopMovers(r.u32()?),
+            6 => Request::ProbeTruth(ProbeId(r.u32()?)),
+            n => return Err(WireError(format!("unknown request tag {n}"))),
+        })
+    }
+}
+
+impl Wire for Response {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Pong => out.push(0),
+            Response::ProbeRecords(v) => {
+                out.push(1);
+                v.put(out);
+            }
+            Response::ProbeSeries(v) => {
+                out.push(2);
+                v.put(out);
+            }
+            Response::AsSummary(v) => {
+                out.push(3);
+                v.put(out);
+            }
+            Response::CountrySummary(v) => {
+                out.push(4);
+                v.put(out);
+            }
+            Response::TopMovers(v) => {
+                out.push(5);
+                v.put(out);
+            }
+            Response::ProbeTruth(v) => {
+                out.push(6);
+                v.put(out);
+            }
+            Response::Error(msg) => {
+                out.push(7);
+                msg.put(out);
+            }
+        }
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<Response, WireError> {
+        Ok(match r.u8()? {
+            0 => Response::Pong,
+            1 => Response::ProbeRecords(Wire::take(r)?),
+            2 => Response::ProbeSeries(Wire::take(r)?),
+            3 => Response::AsSummary(Wire::take(r)?),
+            4 => Response::CountrySummary(Wire::take(r)?),
+            5 => Response::TopMovers(Wire::take(r)?),
+            6 => Response::ProbeTruth(Wire::take(r)?),
+            7 => Response::Error(r.string()?),
+            n => return Err(WireError(format!("unknown response tag {n}"))),
+        })
+    }
+}
+
+/// Encodes any wire value as a standalone message body.
+pub fn to_bytes<T: Wire>(v: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    v.put(&mut out);
+    out
+}
+
+/// Decodes a standalone message body; trailing bytes are an error.
+pub fn from_bytes<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(buf);
+    let v = T::take(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF before the first length
+/// byte; anything else short is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        let n = r.read(&mut len[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame length"));
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = to_bytes(v);
+        let back: T = from_bytes(&bytes).expect("decodes");
+        assert_eq!(&back, v);
+        // Determinism: re-encoding yields the same bytes.
+        assert_eq!(to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Ping,
+            Request::ProbeRecords(ProbeId(0)),
+            Request::ProbeSeries(ProbeId(u32::MAX)),
+            Request::AsSummary(Asn(64512)),
+            Request::CountrySummary("DE".into()),
+            Request::TopMovers(25),
+            Request::ProbeTruth(ProbeId(7)),
+        ] {
+            roundtrip(&req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip(&Response::Pong);
+        roundtrip(&Response::Error("segment 3 corrupt".into()));
+        roundtrip(&Response::AsSummary(None));
+        roundtrip(&Response::ProbeRecords(ProbeRecordsReply {
+            probe: 9,
+            meta: Some(MetaReply { version: 3, country: "JP".into(), tags: vec![3, 7] }),
+            connections: vec![
+                ConnReply { start: -5, end: 100, peer: vec![10, 0, 0, 1] },
+                ConnReply { start: 50, end: 60, peer: vec![0; 16] },
+            ],
+            kroot: vec![KrootReply { timestamp: 1, sent: 3, success: 0, lts_secs: 900 }],
+            uptime: vec![UptimeReply { timestamp: 2, uptime_secs: 3600 }],
+        }));
+        roundtrip(&Response::ProbeSeries(ProbeSeriesReply {
+            probe: 4,
+            meta: None,
+            changes: vec![ChangeReply {
+                gap_start: 10,
+                gap_end: 20,
+                from: [10, 0, 0, 1],
+                to: [10, 0, 0, 2],
+            }],
+            spans: vec![SpanReply { addr: [10, 0, 0, 1], start: 0, end: 10, complete: false }],
+            gaps: vec![GapReply { start: 10, end: 20, address_changed: true }],
+            outages: vec![OutageReply { start: 5, end: 6 }],
+            reboots: vec![RebootReply { boot_time: 1, report_time: 2 }],
+            had_testing_entry: true,
+            v6_entries: 3,
+        }));
+        roundtrip(&Response::TopMovers(vec![MoverReply {
+            probe: 1,
+            changes: 44,
+            asn: 64512,
+            country: "BR".into(),
+        }]));
+        roundtrip(&Response::ProbeTruth(Some(ProbeTruthReply {
+            probe: 2,
+            changes: vec![TruthChangeReply {
+                time: 77,
+                from: None,
+                to: [192, 0, 2, 1],
+                cause: 5,
+            }],
+            outages: vec![TruthOutageReply {
+                kind: 1,
+                start: 9,
+                duration: 1200,
+                address_changed: false,
+            }],
+        })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&Request::Ping);
+        bytes.push(0);
+        assert!(from_bytes::<Request>(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(from_bytes::<Request>(&[200]).is_err());
+        assert!(from_bytes::<Response>(&[200]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Unix-socket serving: accept loop, per-connection threads, client half.
+//!
+//! The process model is the classic one: [`serve`] binds the socket, the
+//! accept loop hands each connection to its own thread, and every thread
+//! answers frames against the same shared [`QueryEngine`] — the engine's
+//! `&self` query path and the sharded cache do all the concurrency work.
+//! Per-request latency is recorded into the `query.latency_us` histogram
+//! and cache counter deltas are published when a connection closes, so a
+//! `--trace` sidecar on the daemon captures the serving metrics without
+//! any per-request registry locking beyond the one histogram record.
+//!
+//! Shutdown is cooperative: [`ServerHandle::stop`] sets a flag and pokes
+//! the listener with a dummy connect so `accept` wakes up; the accept
+//! loop then joins its connection threads. The CI smoke instead just
+//! kills the `queryd` process — both paths leave the store file untouched
+//! because serving never writes.
+
+use crate::engine::QueryEngine;
+use crate::proto::{self, Request, Response};
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A bound, not-yet-running server. Call [`Server::run`] to serve.
+pub struct Server {
+    listener: UnixListener,
+    engine: Arc<QueryEngine>,
+    stop: Arc<AtomicBool>,
+    path: PathBuf,
+}
+
+/// Stop control for a running [`Server`], usable from any thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    path: PathBuf,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop to exit and wakes it up.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection; if the listener
+        // is already gone there is nothing to wake.
+        let _ = UnixStream::connect(&self.path);
+    }
+}
+
+/// Binds `path` (replacing a stale socket file) for `engine`.
+pub fn serve(engine: Arc<QueryEngine>, path: &Path) -> io::Result<Server> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    Ok(Server {
+        listener,
+        engine,
+        stop: Arc::new(AtomicBool::new(false)),
+        path: path.to_path_buf(),
+    })
+}
+
+impl Server {
+    /// The bound socket path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A stop control for this server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { stop: Arc::clone(&self.stop), path: self.path.clone() }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::stop`] is called.
+    /// Connection threads are joined before returning; the socket file is
+    /// removed on exit.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let engine = Arc::clone(&self.engine);
+            workers.push(thread::spawn(move || {
+                // A peer dropping mid-frame is normal churn, not a server
+                // error; just close our end.
+                let _ = handle_connection(&engine, stream);
+                engine.publish_metrics();
+            }));
+            // Reap finished workers so a long-lived daemon doesn't
+            // accumulate handles.
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+}
+
+fn handle_connection(engine: &QueryEngine, stream: UnixStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(body) = proto::read_frame(&mut reader)? {
+        let started = Instant::now();
+        let response = match proto::from_bytes::<Request>(&body) {
+            Ok(req) => engine.query(&req),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        let reply = proto::to_bytes(&response);
+        proto::write_frame(&mut writer, &reply)?;
+        writer.flush()?;
+        dynaddr_obs::hist_record("query.latency_us", started.elapsed().as_micros() as u64);
+    }
+    Ok(())
+}
+
+/// The client half: one connection, synchronous request/response.
+pub struct QueryClient {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+impl QueryClient {
+    /// Connects to a serving socket.
+    pub fn connect(path: &Path) -> io::Result<QueryClient> {
+        let stream = UnixStream::connect(path)?;
+        Ok(QueryClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects, retrying while the daemon is still starting up.
+    pub fn connect_retry(path: &Path, timeout: Duration) -> io::Result<QueryClient> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match QueryClient::connect(path) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Sends one request and returns the raw response frame — the bytes
+    /// the determinism checks compare. Clean EOF is an error here: a
+    /// request was outstanding.
+    pub fn request_bytes(&mut self, req: &Request) -> io::Result<Vec<u8>> {
+        let body = proto::to_bytes(req);
+        proto::write_frame(&mut self.writer, &body)?;
+        self.writer.flush()?;
+        proto::read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })
+    }
+
+    /// Sends one request and decodes the typed response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        let bytes = self.request_bytes(req)?;
+        proto::from_bytes::<Response>(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

@@ -1,0 +1,317 @@
+//! End-to-end determinism and equivalence tests for the query layer.
+//!
+//! The contract under test: every response is a pure function of the
+//! store file — byte-identical at any thread count, any cache state
+//! (cold, warm, thrashing), and whether answered by the cache-backed
+//! engine, the batch-loaded oracle, or across the socket.
+
+use dynaddr_atlas::logs::{
+    AtlasDataset, ConnectionLogEntry, KrootPingRecord, PeerAddr, ProbeMeta, SosUptimeRecord,
+};
+use dynaddr_atlas::store::StoreIndex;
+use dynaddr_atlas::truth::{ChangeCause, GroundTruth, TruthChange, TruthOutage, TruthOutageKind};
+use dynaddr_ip2as::{MonthlySnapshots, RouteTable};
+use dynaddr_query::proto::{self, Request};
+use dynaddr_query::{
+    CacheConfig, EngineOptions, LocalAnswerer, QueryClient, QueryEngine, Workload,
+};
+use dynaddr_store::FileWriter;
+use dynaddr_types::{
+    Asn, Country, Prefix, ProbeId, ProbeTag, ProbeVersion, SimDuration, SimTime,
+};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+const PROBES: u32 = 40;
+
+fn snaps() -> MonthlySnapshots {
+    let mut t = RouteTable::new();
+    t.announce(Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8).unwrap(), Asn(64500));
+    t.announce(Prefix::new(Ipv4Addr::new(172, 16, 0, 0), 12).unwrap(), Asn(64501));
+    MonthlySnapshots::uniform(t)
+}
+
+/// A synthetic dataset with per-probe variety: address changes, v6
+/// entries, k-root loss runs, uptime resets, and a few recordless ids.
+fn dataset() -> AtlasDataset {
+    let mut ds = AtlasDataset::default();
+    for p in 0..PROBES {
+        if p % 7 != 6 {
+            ds.meta.push(ProbeMeta {
+                probe: ProbeId(p),
+                version: [ProbeVersion::V1, ProbeVersion::V2, ProbeVersion::V3]
+                    [p as usize % 3],
+                country: Country::new(["DE", "US", "JP", "BR"][p as usize % 4]).unwrap(),
+                tags: if p % 2 == 0 { vec![ProbeTag::Home, ProbeTag::Dsl] } else { vec![] },
+            });
+        }
+        let sessions = 3 + (p % 5) as i64;
+        for k in 0..sessions {
+            let peer = if p % 5 == 4 && k == 1 {
+                PeerAddr::V6("2001:db8::7".parse().unwrap())
+            } else if p % 2 == 0 {
+                PeerAddr::V4(Ipv4Addr::new(10, 1, p as u8, k as u8))
+            } else {
+                PeerAddr::V4(Ipv4Addr::new(172, 16, p as u8, (k / 2) as u8))
+            };
+            ds.connections.push(ConnectionLogEntry {
+                probe: ProbeId(p),
+                start: SimTime(k * 10_000 + i64::from(p)),
+                end: SimTime(k * 10_000 + 6_000 + i64::from(p)),
+                peer,
+            });
+        }
+        for k in 0..20i64 {
+            ds.kroot.push(KrootPingRecord {
+                probe: ProbeId(p),
+                timestamp: SimTime(k * 240),
+                sent: 3,
+                success: if (8..11).contains(&k) && p % 3 == 0 { 0 } else { 3 },
+                lts_secs: 90,
+            });
+        }
+        for k in 0..6i64 {
+            let reset = p % 4 == 1 && k == 3;
+            ds.uptime.push(SosUptimeRecord {
+                probe: ProbeId(p),
+                timestamp: SimTime(k * 3_600),
+                uptime_secs: if reset { 60 } else { (k * 3_600 + 50_000) as u64 },
+            });
+        }
+    }
+    ds.normalize();
+    ds
+}
+
+fn truth() -> GroundTruth {
+    let mut t = GroundTruth::default();
+    for p in (0..PROBES).step_by(3) {
+        t.changes.push(TruthChange {
+            probe: ProbeId(p),
+            time: SimTime(i64::from(p) * 777),
+            from: (p > 0).then(|| Ipv4Addr::new(10, 1, p as u8, 0)),
+            to: Ipv4Addr::new(10, 1, p as u8, 1),
+            cause: [ChangeCause::PeriodicCap, ChangeCause::NetworkOutage, ChangeCause::Moved]
+                [p as usize % 3],
+        });
+        t.outages.push(TruthOutage {
+            probe: ProbeId(p),
+            kind: [TruthOutageKind::Network, TruthOutageKind::Power][p as usize % 2],
+            start: SimTime(i64::from(p) * 555),
+            duration: SimDuration::from_mins(i64::from(p) + 5),
+            address_changed: p % 2 == 0,
+        });
+    }
+    t.normalize();
+    t
+}
+
+/// Encodes the dataset with tiny segments so every table spans many —
+/// the geometry that actually exercises the segment cache and the
+/// footer binary search.
+fn store_bytes(ds: &AtlasDataset) -> Vec<u8> {
+    let mut w = FileWriter::with_segment_rows(16);
+    w.write_table(&ds.meta);
+    w.write_table(&ds.connections);
+    w.write_table(&ds.kroot);
+    w.write_table(&ds.uptime);
+    w.finish()
+}
+
+fn engine_with(budget: usize) -> QueryEngine {
+    let ds = dataset();
+    let snaps = snaps();
+    let t = truth();
+    QueryEngine::from_parts(
+        store_bytes(&ds),
+        &snaps,
+        Some(&t),
+        &EngineOptions { cache: CacheConfig { shards: 4, budget_bytes: budget, ..Default::default() } },
+    )
+    .expect("engine opens")
+}
+
+fn workload_for(engine: &QueryEngine) -> Workload {
+    let stats = engine.stats();
+    Workload::new(
+        0xFEED_F00D,
+        stats.probes(),
+        stats.asns(),
+        stats.countries(),
+        engine.truth_available(),
+    )
+}
+
+/// Single-threaded reference answers for the first `n` workload requests.
+fn reference(engine: &QueryEngine, w: &Workload, n: u64) -> Vec<Vec<u8>> {
+    (0..n).map(|i| proto::to_bytes(&engine.query(&w.request(i)))).collect()
+}
+
+#[test]
+fn engine_matches_local_oracle_and_dataset() {
+    let ds = dataset();
+    let snaps = snaps();
+    let t = truth();
+    let bytes = store_bytes(&ds);
+    let engine = QueryEngine::from_parts(
+        bytes.clone(),
+        &snaps,
+        Some(&t),
+        &EngineOptions::default(),
+    )
+    .unwrap();
+    let local = LocalAnswerer::from_parts(ds.clone(), &snaps, Some(&t));
+
+    // Universe agreement first: same probes/ASes/countries on both sides.
+    assert_eq!(engine.stats().probes(), local.stats().probes());
+    assert_eq!(engine.stats().asns(), local.stats().asns());
+    assert_eq!(engine.stats().countries(), local.stats().countries());
+
+    let mut requests = vec![
+        Request::Ping,
+        Request::TopMovers(0),
+        Request::TopMovers(5),
+        Request::TopMovers(1000),
+        Request::AsSummary(Asn(1)),
+        Request::CountrySummary("XX".into()),
+        Request::ProbeRecords(ProbeId(99_999)),
+        Request::ProbeSeries(ProbeId(99_999)),
+        Request::ProbeTruth(ProbeId(99_999)),
+    ];
+    for p in 0..PROBES {
+        requests.push(Request::ProbeRecords(ProbeId(p)));
+        requests.push(Request::ProbeSeries(ProbeId(p)));
+        requests.push(Request::ProbeTruth(ProbeId(p)));
+    }
+    for a in engine.stats().asns() {
+        requests.push(Request::AsSummary(Asn(a)));
+    }
+    for cc in engine.stats().countries() {
+        requests.push(Request::CountrySummary(cc));
+    }
+    for req in &requests {
+        let from_engine = engine.query(req);
+        let from_local = local.answer(req);
+        assert_eq!(from_engine, from_local, "diverged on {req:?}");
+        assert_eq!(proto::to_bytes(&from_engine), proto::to_bytes(&from_local));
+    }
+
+    // Spot-check the records path against the dataset accessors and the
+    // open-once store index (satellite: read_probe_indexed).
+    let index = StoreIndex::open(&bytes).unwrap();
+    for p in [ProbeId(0), ProbeId(17), ProbeId(PROBES - 1), ProbeId(4242)] {
+        let records = engine.records(p).unwrap();
+        assert_eq!(records.connections.len(), ds.connections_of(p).len());
+        assert_eq!(records.kroot.len(), ds.kroot_of(p).len());
+        assert_eq!(records.meta.is_some(), ds.meta_of(p).is_some());
+        let via_index = index.read_probe_indexed(p).unwrap();
+        assert_eq!(via_index.connections, ds.connections_of(p));
+        assert_eq!(via_index.uptime, ds.uptime_of(p));
+    }
+}
+
+#[test]
+fn responses_byte_identical_across_thread_counts() {
+    const N: u64 = 2_000;
+    let reference_engine = engine_with(256 << 20);
+    let w = workload_for(&reference_engine);
+    let expect = reference(&reference_engine, &w, N);
+
+    for threads in [2usize, 8, 64] {
+        // Fresh engine per thread count: each run starts cache-cold and
+        // interleaves its own warming with serving.
+        let engine = engine_with(256 << 20);
+        let w = workload_for(&engine);
+        let mut answers: Vec<Vec<(u64, Vec<u8>)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let engine = &engine;
+                    let w = &w;
+                    scope.spawn(move || {
+                        (worker as u64..N)
+                            .step_by(threads)
+                            .map(|i| (i, proto::to_bytes(&engine.query(&w.request(i)))))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                answers.push(h.join().expect("worker panicked"));
+            }
+        });
+        let mut merged: Vec<Option<Vec<u8>>> = vec![None; N as usize];
+        for chunk in answers {
+            for (i, bytes) in chunk {
+                merged[i as usize] = Some(bytes);
+            }
+        }
+        for (i, got) in merged.into_iter().enumerate() {
+            assert_eq!(
+                got.as_ref(),
+                Some(&expect[i]),
+                "request {i} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn responses_survive_cache_state_changes() {
+    const N: u64 = 1_500;
+    let engine = engine_with(256 << 20);
+    let w = workload_for(&engine);
+    let cold = reference(&engine, &w, N);
+    let hits_after_cold = engine.cache_stats().hits;
+    // Warm pass: same engine, cache now populated.
+    let warm = reference(&engine, &w, N);
+    assert_eq!(cold, warm, "warm cache changed an answer");
+    assert!(
+        engine.cache_stats().hits > hits_after_cold,
+        "warm pass should hit the cache"
+    );
+    // Cleared cache: decode everything again.
+    engine.clear_cache();
+    assert_eq!(cold, reference(&engine, &w, N), "cleared cache changed an answer");
+    // Thrashing: a budget too small to hold the working set forces
+    // constant eviction; answers must not move.
+    let tiny = engine_with(4 << 10);
+    assert_eq!(cold, reference(&tiny, &workload_for(&tiny), N), "tiny cache changed an answer");
+    let stats = tiny.cache_stats();
+    assert!(stats.evictions > 0, "tiny budget never evicted (budget not enforced?)");
+}
+
+#[cfg(unix)]
+#[test]
+fn socket_serving_matches_in_process_answers() {
+    const N: u64 = 300;
+    let engine = Arc::new(engine_with(256 << 20));
+    let w = workload_for(&engine);
+    let path = std::env::temp_dir().join(format!("dynaddr-query-test-{}.sock", std::process::id()));
+    let server = dynaddr_query::serve(Arc::clone(&engine), &path).expect("bind");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    {
+        let mut clients: Vec<QueryClient> = (0..3)
+            .map(|_| {
+                QueryClient::connect_retry(&path, std::time::Duration::from_secs(5))
+                    .expect("connect")
+            })
+            .collect();
+        for i in 0..N {
+            let req = w.request(i);
+            let expected = proto::to_bytes(&engine.query(&req));
+            let got = clients[(i % 3) as usize].request_bytes(&req).expect("request");
+            assert_eq!(got, expected, "request {i} diverged over the socket");
+        }
+        // A malformed frame gets an Error response, not a hangup for
+        // the well-formed requests that follow.
+        let resp = clients[0].request(&Request::Ping).expect("ping");
+        assert_eq!(resp, dynaddr_query::Response::Pong);
+    }
+
+    handle.stop();
+    server_thread.join().expect("server thread").expect("server run");
+    assert!(!path.exists(), "socket file should be removed on shutdown");
+}

@@ -361,43 +361,55 @@ impl<'a> FileReader<'a> {
         index: usize,
         info: SegmentInfo,
     ) -> Result<Vec<R>, StoreError> {
-        let corrupt = |reason: String| StoreError::SegmentCorrupt {
-            table: R::TABLE_NAME.to_string(),
-            index,
-            offset: info.offset,
-            reason,
-        };
-        let start = info.offset as usize;
-        let body_start = start + 4;
-        let body_end = body_start + info.len as usize;
-        if body_end + 4 > self.bytes.len() {
-            return Err(corrupt("segment extends past end of file".to_string()));
-        }
-        let inline_len =
-            u32::from_le_bytes(self.bytes[start..body_start].try_into().expect("4 bytes"));
-        if u64::from(inline_len) != info.len {
-            return Err(corrupt(format!(
-                "length prefix {inline_len} disagrees with index length {}",
-                info.len
-            )));
-        }
-        let body = &self.bytes[body_start..body_end];
-        let stored_crc = u32::from_le_bytes(
-            self.bytes[body_end..body_end + 4].try_into().expect("4 bytes"),
-        );
-        if crc32(body) != stored_crc {
-            return Err(corrupt("checksum mismatch".to_string()));
-        }
-        let rows = decode_segment::<R>(body).map_err(|e: DecodeError| corrupt(e.reason))?;
-        if rows.len() as u64 != info.rows {
-            return Err(corrupt(format!(
-                "decoded {} rows where the index records {}",
-                rows.len(),
-                info.rows
-            )));
-        }
-        Ok(rows)
+        decode_segment_at(self.bytes, index, info)
     }
+}
+
+/// Verifies and decodes one indexed segment out of store-file bytes: the
+/// inline length prefix, the CRC, and the decoded row count must all agree
+/// with the footer entry, and any failure is a [`StoreError::SegmentCorrupt`]
+/// naming the segment. This is the building block callers with their own
+/// parsed footer (e.g. a segment cache that decodes on miss) use to read
+/// segments without re-opening a [`FileReader`].
+pub fn decode_segment_at<R: ColumnarRecord>(
+    bytes: &[u8],
+    index: usize,
+    info: SegmentInfo,
+) -> Result<Vec<R>, StoreError> {
+    let corrupt = |reason: String| StoreError::SegmentCorrupt {
+        table: R::TABLE_NAME.to_string(),
+        index,
+        offset: info.offset,
+        reason,
+    };
+    let start = info.offset as usize;
+    let body_start = start + 4;
+    let body_end = body_start + info.len as usize;
+    if body_end + 4 > bytes.len() {
+        return Err(corrupt("segment extends past end of file".to_string()));
+    }
+    let inline_len = u32::from_le_bytes(bytes[start..body_start].try_into().expect("4 bytes"));
+    if u64::from(inline_len) != info.len {
+        return Err(corrupt(format!(
+            "length prefix {inline_len} disagrees with index length {}",
+            info.len
+        )));
+    }
+    let body = &bytes[body_start..body_end];
+    let stored_crc =
+        u32::from_le_bytes(bytes[body_end..body_end + 4].try_into().expect("4 bytes"));
+    if crc32(body) != stored_crc {
+        return Err(corrupt("checksum mismatch".to_string()));
+    }
+    let rows = decode_segment::<R>(body).map_err(|e: DecodeError| corrupt(e.reason))?;
+    if rows.len() as u64 != info.rows {
+        return Err(corrupt(format!(
+            "decoded {} rows where the index records {}",
+            rows.len(),
+            info.rows
+        )));
+    }
+    Ok(rows)
 }
 
 /// Reads a store file directly from disk, one segment at a time.

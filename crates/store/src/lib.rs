@@ -41,8 +41,8 @@ pub mod varint;
 
 pub use column::{ColumnBuilder, ColumnKind, ColumnReader, DecodeError};
 pub use file::{
-    FileReader, FileWriter, SegmentFileReader, SegmentInfo, StreamWriter, DEFAULT_SEGMENT_ROWS,
-    MAGIC,
+    decode_segment_at, FileReader, FileWriter, SegmentFileReader, SegmentInfo, StreamWriter,
+    DEFAULT_SEGMENT_ROWS, MAGIC,
 };
 pub use record::ColumnarRecord;
 pub use sink::{RunMerger, SegmentSink};

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # CI gate: release build, full workspace tests, a perfsnap smoke run, a
-# store-vs-jsonl round-trip smoke, a shard-local-vs-serial world-build
-# smoke, and the quickstart example.
+# store-vs-jsonl round-trip smoke, a query-serving smoke (queryd/queryc), a
+# shard-local-vs-serial world-build smoke, and the quickstart example.
 #
 # The smoke run times the pipeline at a tiny scale (0.01) just to prove the
 # bench binary exits 0 and writes valid JSON — it is NOT a benchmark and its
@@ -22,7 +22,7 @@ SNAP="$(mktemp /tmp/perfsnap-smoke.XXXXXX.json)"
 SMOKE="$(mktemp -d /tmp/dynaddr-smoke.XXXXXX)"
 trap 'rm -rf "$SNAP" "$SMOKE"' EXIT
 cargo run --release -q -p dynaddr-bench --bin perfsnap -- \
-    --scale 0.01 --iters 1 --tiers s005 --out "$SNAP"
+    --scale 0.01 --iters 1 --tiers s005 --lookups 5000 --out "$SNAP"
 
 python3 -m json.tool "$SNAP" > /dev/null
 grep -q '"sim_queue"' "$SNAP"
@@ -35,6 +35,9 @@ grep -q '"peak_rss_bytes"' "$SNAP"
 grep -q '"exec_stats"' "$SNAP"
 grep -q '"tasks_per_worker"' "$SNAP"
 grep -q '"trace_overhead_pct"' "$SNAP"
+grep -q '"lookups_per_sec"' "$SNAP"
+grep -q '"cache_hit_rate"' "$SNAP"
+grep -q '"latency_p99_us"' "$SNAP"
 
 echo "==> store round-trip smoke (scale 0.01, store vs jsonl)"
 # The same world written in both formats must analyze to identical reports.
@@ -49,6 +52,26 @@ cargo run --release -q -p dynaddr-bench --bin analyze -- \
 cargo run --release -q -p dynaddr-bench --bin analyze -- \
     --data "$SMOKE/jsonl" --report "$SMOKE/jsonl.txt" > /dev/null
 diff "$SMOKE/store.txt" "$SMOKE/jsonl.txt"
+
+echo "==> query serving smoke (queryd on the scale-0.01 store)"
+# The daemon's cache-backed answers must match the batch-loaded local
+# oracle byte for byte (remote vs local), and a second identical batch —
+# now served from a warm cache — must match the first (cold vs warm).
+QSOCK="$SMOKE/queryd.sock"
+./target/release/queryd --data "$SMOKE/store" --socket "$QSOCK" \
+    --trace "$SMOKE/queryd-trace.jsonl" 2> "$SMOKE/queryd.err" &
+QPID=$!
+trap 'kill "$QPID" 2>/dev/null; rm -rf "$SNAP" "$SMOKE"' EXIT
+./target/release/queryc --data "$SMOKE/store" --socket "$QSOCK" \
+    --count 400 --seed 99 --out "$SMOKE/q-remote-cold.txt"
+./target/release/queryc --data "$SMOKE/store" --socket "$QSOCK" \
+    --count 400 --seed 99 --out "$SMOKE/q-remote-warm.txt"
+./target/release/queryc --data "$SMOKE/store" \
+    --count 400 --seed 99 --out "$SMOKE/q-local.txt"
+diff "$SMOKE/q-remote-cold.txt" "$SMOKE/q-local.txt"
+diff "$SMOKE/q-remote-cold.txt" "$SMOKE/q-remote-warm.txt"
+kill "$QPID"
+wait "$QPID" 2>/dev/null || true
 
 echo "==> build-mode smoke (scale 0.01, shard-local vs serial world build)"
 # Nets and probes are normally materialized inside the parallel shard map;
