@@ -165,8 +165,129 @@ impl DatasetStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::logs::PeerAddr;
     use crate::world::paper_world;
     use crate::{simulate, SimOptions};
+    use dynaddr_store::FileWriter;
+    use dynaddr_types::{Country, ProbeId, ProbeVersion, SimTime};
+
+    /// Writes `ds` as a store file with a given segment row cap, so tests
+    /// can force one probe's rows across a segment boundary.
+    fn write_store(ds: &AtlasDataset, segment_rows: usize, name: &str) -> std::path::PathBuf {
+        let mut w = FileWriter::with_segment_rows(segment_rows);
+        w.write_table(&ds.meta);
+        w.write_table(&ds.connections);
+        w.write_table(&ds.kroot);
+        w.write_table(&ds.uptime);
+        let dir = std::env::temp_dir().join("dynaddr-stream-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.store", std::process::id()));
+        std::fs::write(&path, w.finish()).unwrap();
+        path
+    }
+
+    fn meta(probe: u32) -> ProbeMeta {
+        ProbeMeta {
+            probe: ProbeId(probe),
+            version: ProbeVersion::V3,
+            country: Country::new("DE").unwrap(),
+            tags: Vec::new(),
+        }
+    }
+
+    fn conn(probe: u32, start: i64) -> ConnectionLogEntry {
+        ConnectionLogEntry {
+            probe: ProbeId(probe),
+            start: SimTime(start),
+            end: SimTime(start + 60),
+            peer: PeerAddr::V4("10.0.0.1".parse().unwrap()),
+        }
+    }
+
+    #[test]
+    fn empty_store_yields_no_batches() {
+        let ds = AtlasDataset::default();
+        let path = write_store(&ds, 4, "empty");
+        let mut stream = DatasetStream::open(&path).unwrap();
+        assert_eq!(stream.total_probes(), 0);
+        assert!(stream.next_batch().unwrap().is_none());
+        // Stays drained: asking again is fine and still empty.
+        assert!(stream.next_batch().unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn single_probe_store_is_one_batch_at_any_batch_size() {
+        let mut ds = AtlasDataset {
+            meta: vec![meta(7)],
+            connections: vec![conn(7, 0), conn(7, 100), conn(7, 200)],
+            kroot: vec![KrootPingRecord {
+                probe: ProbeId(7),
+                timestamp: SimTime(50),
+                sent: 3,
+                success: 3,
+                lts_secs: 10,
+            }],
+            uptime: vec![SosUptimeRecord {
+                probe: ProbeId(7),
+                timestamp: SimTime(100),
+                uptime_secs: 90,
+            }],
+            ..AtlasDataset::default()
+        };
+        ds.normalize();
+        let path = write_store(&ds, 4, "single");
+        for batch_probes in [1usize, 2, DEFAULT_BATCH_PROBES] {
+            let mut stream = DatasetStream::with_batch_probes(&path, batch_probes).unwrap();
+            assert_eq!(stream.total_probes(), 1);
+            let batch = stream.next_batch().unwrap().expect("one batch");
+            assert_eq!(batch, ds, "batch_probes={batch_probes}");
+            assert!(stream.next_batch().unwrap().is_none());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A probe whose connection rows span a segment boundary must still
+    /// arrive whole in one batch: `take_through` keeps draining segments
+    /// until the probe's key range ends, not just until the first segment
+    /// boundary.
+    #[test]
+    fn probe_spanning_a_segment_boundary_stays_whole() {
+        let mut ds = AtlasDataset {
+            meta: vec![meta(1), meta(2)],
+            // Probe 1 fills most of the first 4-row segment; probe 2's six
+            // rows then straddle segments {1|2}: [1,1,1,2][2,2,2,2][2].
+            connections: vec![
+                conn(1, 0),
+                conn(1, 100),
+                conn(1, 200),
+                conn(2, 0),
+                conn(2, 100),
+                conn(2, 200),
+                conn(2, 300),
+                conn(2, 400),
+                conn(2, 500),
+            ],
+            ..AtlasDataset::default()
+        };
+        ds.normalize();
+        let path = write_store(&ds, 4, "boundary");
+        let mut stream = DatasetStream::with_batch_probes(&path, 1).unwrap();
+
+        let first = stream.next_batch().unwrap().expect("probe 1");
+        assert_eq!(first.meta.len(), 1);
+        assert_eq!(first.meta[0].probe, ProbeId(1));
+        assert_eq!(first.connections.len(), 3);
+
+        let second = stream.next_batch().unwrap().expect("probe 2");
+        assert_eq!(second.meta.len(), 1);
+        assert_eq!(second.meta[0].probe, ProbeId(2));
+        assert_eq!(second.connections.len(), 6, "rows split across segments reassemble");
+        assert!(second.connections.iter().all(|e| e.probe == ProbeId(2)));
+
+        assert!(stream.next_batch().unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
 
     #[test]
     fn batches_reassemble_the_dataset_at_any_batch_size() {

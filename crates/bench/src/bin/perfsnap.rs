@@ -38,6 +38,14 @@
 //! exits nonzero (after writing the snapshot) if the digests differ across
 //! thread counts — the cheap, always-on form of the crate's determinism
 //! tests — or if the ambient run's cache hit rate falls below 80%.
+//!
+//! The `ingest` section benchmarks the live path (`dynaddr-daemon`): an
+//! in-process daemon replays the snapshot's own dataset at max rate while
+//! a concurrent client hammers rolling `DaemonSnapshot` point queries,
+//! recording replay throughput (rows/sec) and point-query latency
+//! quantiles under ingest. The sealed report is compared against the
+//! batch analyzer's; perfsnap exits nonzero (after writing the snapshot)
+//! if they differ by even one byte.
 
 use dynaddr_atlas::world::{paper_route_tables, paper_world};
 use dynaddr_atlas::{simulate, simulate_instrumented, simulate_to_store, SimOptions, SimOutput};
@@ -84,6 +92,28 @@ struct QueryStage {
     /// Order-independent digest of all response bytes; must match across
     /// thread counts.
     digest: String,
+}
+
+/// The live-ingestion benchmark: an in-process daemon replays the
+/// snapshot's own dataset at max rate under concurrent point queries.
+#[derive(Serialize)]
+struct IngestStage {
+    /// Rows replayed (probe metadata plus every stream row).
+    rows: u64,
+    /// Wall seconds for the full replay at max rate.
+    replay_s: f64,
+    /// rows / replay_s: live-ingestion throughput.
+    replay_rows_per_sec: f64,
+    /// Rolling `DaemonSnapshot` queries answered while the replay ran.
+    point_queries: u64,
+    /// Median point-query latency under ingest, nanoseconds — the call is
+    /// in-process, so sub-microsecond (log2-bucket upper bound).
+    point_p50_ns: u64,
+    /// 99th-percentile point-query latency under ingest, nanoseconds.
+    point_p99_ns: u64,
+    /// The daemon's sealed report is byte-identical to the batch
+    /// analyzer's — the snapshot's always-on replay-equivalence check.
+    sealed_matches_batch: bool,
 }
 
 #[derive(Serialize)]
@@ -181,6 +211,8 @@ struct Snapshot {
     stages: Vec<StageTiming>,
     /// The query-serving benchmark, one cache-cold run per thread count.
     query: Vec<QueryStage>,
+    /// The live-ingestion benchmark: daemon replay under point queries.
+    ingest: IngestStage,
     /// The streamed scale ladder, one isolated process per tier.
     tiers: Vec<TierResult>,
 }
@@ -387,6 +419,10 @@ fn main() {
     // this snapshot's own dataset and truth.
     let query = run_query_bench(&sim_out, &snaps, seed, lookups, max_threads);
 
+    // The live-ingestion benchmark: replay this snapshot's dataset through
+    // the daemon's incremental machines under concurrent point queries.
+    let ingest = run_ingest_bench(&sim_out, &snaps);
+
     // The streamed scale ladder: one child process per tier so each
     // peak-RSS number is that tier's alone.
     let exe = std::env::current_exe().expect("current exe");
@@ -427,6 +463,7 @@ fn main() {
         trace_overhead_pct: trace_overhead.pct,
         stages,
         query,
+        ingest,
         tiers,
     };
     let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
@@ -465,6 +502,79 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if !snap.ingest.sealed_matches_batch {
+        error!("daemon replay sealed report diverges from the batch analyzer's");
+        std::process::exit(1);
+    }
+}
+
+/// Replays the snapshot's dataset through an in-process
+/// [`dynaddr_daemon::Daemon`] at max rate while one client thread hammers
+/// rolling `DaemonSnapshot` point queries, then seals and diffs the
+/// report against the batch analyzer's. The query loop shares the
+/// daemon's state lock with the ingest path, so the latency quantiles
+/// measure exactly what a socket client would see mid-replay (minus wire
+/// framing).
+fn run_ingest_bench(sim_out: &SimOutput, snaps: &MonthlySnapshots) -> IngestStage {
+    use dynaddr_daemon::{Daemon, Rate};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let cfg = AnalysisConfig::default();
+    let batch = dynaddr_core::report::render_full(
+        &analyze(&sim_out.dataset, snaps, &cfg),
+        &cfg.as_names,
+    );
+    let daemon = Daemon::new(snaps.clone(), cfg);
+    let done = AtomicBool::new(false);
+
+    let mut latency = dynaddr_obs::Histogram::default();
+    let mut point_queries = 0u64;
+    let mut replay_s = 0.0f64;
+    std::thread::scope(|scope| {
+        let client = scope.spawn(|| {
+            let mut hist = dynaddr_obs::Histogram::default();
+            let mut n = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let q0 = Instant::now();
+                std::hint::black_box(daemon.snapshot_reply());
+                hist.record(q0.elapsed().as_nanos() as u64);
+                n += 1;
+            }
+            (hist, n)
+        });
+        let t0 = Instant::now();
+        daemon.replay(&sim_out.dataset, Rate::Max);
+        replay_s = t0.elapsed().as_secs_f64();
+        done.store(true, Ordering::Release);
+        let (hist, n) = client.join().expect("point-query thread panicked");
+        latency = hist;
+        point_queries = n;
+    });
+
+    let sealed = daemon.seal_text();
+    let counts = daemon.ingest_reply();
+    let rows = counts.meta_rows + counts.rows_ingested;
+    let stage = IngestStage {
+        rows,
+        replay_s,
+        replay_rows_per_sec: if replay_s > 0.0 { rows as f64 / replay_s } else { 0.0 },
+        point_queries,
+        point_p50_ns: latency.quantile(0.5),
+        point_p99_ns: latency.quantile(0.99),
+        sealed_matches_batch: sealed == batch,
+    };
+    info!(
+        "ingest: {} rows in {:.3} s ({:.0} rows/s), {} point queries, \
+         p50 {} ns, p99 {} ns, sealed matches batch: {}",
+        stage.rows,
+        stage.replay_s,
+        stage.replay_rows_per_sec,
+        stage.point_queries,
+        stage.point_p50_ns,
+        stage.point_p99_ns,
+        stage.sealed_matches_batch
+    );
+    stage
 }
 
 /// Drives `lookups` seeded workload requests through a cache-cold

@@ -106,63 +106,117 @@ pub fn strip_testing_entries(entries: &mut Vec<ConnectionLogEntry>) -> bool {
     }
 }
 
-/// Extracts changes, spans, and gaps from one probe's IPv4 connection-log
-/// entries (already sorted by start time; non-IPv4 entries must be removed
-/// beforehand — see the filtering module for the dual-stack rationale).
-pub fn extract_events(entries: &[ConnectionLogEntry]) -> ProbeEvents {
-    let mut events = ProbeEvents::default();
-    if entries.is_empty() {
-        return events;
+/// Incremental change/span/gap extractor for one probe: the state machine
+/// behind [`extract_events`], usable one entry at a time.
+///
+/// Feed IPv4 entries in start-time order with [`push`](Self::push); call
+/// [`finish`](Self::finish) to seal the trailing span. The machine carries
+/// only the open span (start, end, address, left-bound flag) between pushes,
+/// so a resident daemon can hold one per probe at O(1) state beyond the
+/// emitted events. Replaying a full entry sequence through it yields the
+/// identical [`ProbeEvents`] the batch scan produces.
+#[derive(Debug, Clone, Default)]
+pub struct EventExtractor {
+    events: ProbeEvents,
+    /// Open-span state; `None` until the first entry arrives.
+    open: Option<OpenSpan>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    probe: ProbeId,
+    start: SimTime,
+    end: SimTime,
+    addr: Ipv4Addr,
+    has_left_bound: bool,
+}
+
+impl EventExtractor {
+    /// A fresh extractor with no entries seen.
+    pub fn new() -> EventExtractor {
+        EventExtractor::default()
     }
-    let probe = entries[0].probe;
-    debug_assert!(entries.iter().all(|e| e.probe == probe));
-    debug_assert!(entries.iter().all(|e| e.peer.is_v4()));
 
-    let mut span_start = entries[0].start;
-    let mut span_end = entries[0].end;
-    let mut span_addr = entries[0].peer.v4().expect("v4 entries only");
-    let mut span_has_left_bound = false;
-
-    for pair in entries.windows(2) {
-        let (prev, next) = (&pair[0], &pair[1]);
-        let next_addr = next.peer.v4().expect("v4 entries only");
-        let changed = next_addr != span_addr;
-        events.gaps.push(Gap {
-            probe,
-            start: prev.end,
-            end: next.start,
+    /// Feeds the next connection-log entry (IPv4, start-time order).
+    pub fn push(&mut self, e: &ConnectionLogEntry) {
+        let next_addr = e.peer.v4().expect("v4 entries only");
+        let Some(span) = self.open.as_mut() else {
+            self.open = Some(OpenSpan {
+                probe: e.probe,
+                start: e.start,
+                end: e.end,
+                addr: next_addr,
+                has_left_bound: false,
+            });
+            return;
+        };
+        debug_assert_eq!(span.probe, e.probe);
+        let changed = next_addr != span.addr;
+        self.events.gaps.push(Gap {
+            probe: span.probe,
+            start: span.end,
+            end: e.start,
             address_changed: changed,
         });
         if changed {
-            events.changes.push(AddressChange {
-                probe,
-                gap_start: prev.end,
-                gap_end: next.start,
-                from: span_addr,
+            self.events.changes.push(AddressChange {
+                probe: span.probe,
+                gap_start: span.end,
+                gap_end: e.start,
+                from: span.addr,
                 to: next_addr,
             });
-            events.spans.push(AddressSpan {
-                probe,
-                addr: span_addr,
-                start: span_start,
-                end: span_end,
-                complete: span_has_left_bound,
+            self.events.spans.push(AddressSpan {
+                probe: span.probe,
+                addr: span.addr,
+                start: span.start,
+                end: span.end,
+                complete: span.has_left_bound,
             });
-            span_start = next.start;
-            span_addr = next_addr;
-            span_has_left_bound = true;
+            span.start = e.start;
+            span.addr = next_addr;
+            span.has_left_bound = true;
         }
-        span_end = next.end;
+        span.end = e.end;
     }
-    // The trailing span never has a right bound.
-    events.spans.push(AddressSpan {
-        probe,
-        addr: span_addr,
-        start: span_start,
-        end: span_end,
-        complete: false,
-    });
-    events
+
+    /// The changes emitted so far (grows as entries are pushed).
+    pub fn changes(&self) -> &[AddressChange] {
+        &self.events.changes
+    }
+
+    /// The gaps emitted so far.
+    pub fn gaps(&self) -> &[Gap] {
+        &self.events.gaps
+    }
+
+    /// Seals the trailing span (never right-bounded) and returns the
+    /// extraction results.
+    pub fn finish(mut self) -> ProbeEvents {
+        if let Some(span) = self.open.take() {
+            self.events.spans.push(AddressSpan {
+                probe: span.probe,
+                addr: span.addr,
+                start: span.start,
+                end: span.end,
+                complete: false,
+            });
+        }
+        self.events
+    }
+}
+
+/// Extracts changes, spans, and gaps from one probe's IPv4 connection-log
+/// entries (already sorted by start time; non-IPv4 entries must be removed
+/// beforehand — see the filtering module for the dual-stack rationale).
+/// Batch driver over [`EventExtractor`].
+pub fn extract_events(entries: &[ConnectionLogEntry]) -> ProbeEvents {
+    debug_assert!(entries.windows(2).all(|p| p[0].probe == p[1].probe));
+    let mut m = EventExtractor::new();
+    for e in entries {
+        m.push(e);
+    }
+    m.finish()
 }
 
 #[cfg(test)]
@@ -279,6 +333,29 @@ mod tests {
         let mut no_testing = vec![entry(0, 10, "10.0.0.1")];
         assert!(!strip_testing_entries(&mut no_testing));
         assert_eq!(no_testing.len(), 1);
+    }
+
+    #[test]
+    fn incremental_extractor_matches_batch_scan() {
+        let entries = vec![
+            entry(0, H, "10.0.0.1"),
+            entry(H + 60, 2 * H, "10.0.0.1"),
+            entry(2 * H + 60, 3 * H, "10.0.0.2"),
+            entry(3 * H + 60, 4 * H, "10.0.0.1"),
+            entry(4 * H + 60, 5 * H, "10.0.0.3"),
+        ];
+        let batch = extract_events(&entries);
+        let mut m = EventExtractor::new();
+        for (i, e) in entries.iter().enumerate() {
+            m.push(e);
+            // Mid-stream views never run ahead of the final results.
+            assert!(m.changes().len() <= batch.changes.len());
+            assert_eq!(m.gaps().len(), i);
+        }
+        let inc = m.finish();
+        assert_eq!(inc.changes, batch.changes);
+        assert_eq!(inc.spans, batch.spans);
+        assert_eq!(inc.gaps, batch.gaps);
     }
 
     #[test]

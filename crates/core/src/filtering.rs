@@ -19,8 +19,8 @@
 //!    geographic analysis with cross-AS changes discarded; dropped entirely
 //!    from the AS-level analysis).
 
-use crate::changes::{extract_events, strip_testing_entries, ProbeEvents};
-use dynaddr_atlas::logs::{AtlasDataset, ConnectionLogEntry, ProbeMeta};
+use crate::changes::{EventExtractor, ProbeEvents};
+use dynaddr_atlas::logs::{testing_address, AtlasDataset, ConnectionLogEntry, ProbeMeta};
 use dynaddr_ip2as::MonthlySnapshots;
 use dynaddr_types::{Asn, ProbeId};
 use serde::Serialize;
@@ -103,24 +103,6 @@ pub struct FilterReport {
     /// Cleaned analyzable probes (geographic set; check `multi_as` for the
     /// AS-level subset).
     pub probes: Vec<AnalyzableProbe>,
-}
-
-/// The maximum number of returns to any single previously-used address —
-/// the "alternating with one fixed address" signature of §3.2.
-fn max_returns_to_one_address(entries: &[ConnectionLogEntry]) -> usize {
-    let mut seen = std::collections::HashSet::new();
-    let mut returns: std::collections::HashMap<std::net::Ipv4Addr, usize> =
-        std::collections::HashMap::new();
-    let mut prev = None;
-    for e in entries {
-        let addr = e.peer.v4().expect("v4 entries only");
-        if prev.is_some() && prev != Some(addr) && seen.contains(&addr) {
-            *returns.entry(addr).or_insert(0) += 1;
-        }
-        seen.insert(addr);
-        prev = Some(addr);
-    }
-    returns.values().copied().max().unwrap_or(0)
 }
 
 impl FilterCounts {
@@ -247,76 +229,249 @@ impl StreamingFilter {
     }
 }
 
+/// Incremental Table 2 classifier for one probe: the state machine behind
+/// [`filter_probes`]'s per-probe `classify`, usable one connection-log entry
+/// at a time.
+///
+/// Feed entries in start-time order with [`push`](Self::push);
+/// [`finish`](Self::finish) runs the funnel in the paper's order and yields
+/// the class plus the cleaned [`AnalyzableProbe`] when applicable.
+/// [`class`](Self::class) gives the funnel verdict *as of the entries seen
+/// so far* in O(1) — the rolling-Table-2 hook for a resident daemon.
+///
+/// Once the verdict can no longer reach `Analyzable` (a v6 entry arrives, a
+/// disqualifying tag is present, or the multihomed return threshold is
+/// crossed — all monotone conditions), the retained per-entry state is
+/// dropped: a filtered-out probe costs O(1) memory no matter how long its
+/// stream runs.
+#[derive(Debug, Clone)]
+pub struct ProbeMachine {
+    meta: ProbeMeta,
+    tagged: bool,
+    v4_count: usize,
+    v6_count: usize,
+    /// Still inside the leading run of testing-address entries.
+    in_leading_testing: bool,
+    had_testing: bool,
+    /// Heavy per-entry state; `None` once the class is settled short of
+    /// `Analyzable`.
+    heavy: Option<Box<HeavyState>>,
+    /// Running `max_returns_to_one_address` verdict (monotone).
+    multihomed: bool,
+}
+
+/// The per-entry state a still-analyzable probe accumulates.
+#[derive(Debug, Clone, Default)]
+struct HeavyState {
+    /// Stripped IPv4 entries, time-sorted.
+    entries: Vec<ConnectionLogEntry>,
+    // Behavioural-multihoming detection (running max_returns_to_one_address).
+    seen: std::collections::HashSet<std::net::Ipv4Addr>,
+    returns: std::collections::HashMap<std::net::Ipv4Addr, usize>,
+    prev_addr: Option<std::net::Ipv4Addr>,
+    max_returns: usize,
+    // Change/span/gap extraction.
+    extractor: EventExtractor,
+    /// ASN of each emitted change, parallel to the extractor's changes.
+    change_asns: Vec<(Asn, Asn)>,
+    multi_as: bool,
+    /// Connection seconds per origin ASN (for the primary-ASN vote).
+    time_by_asn: BTreeMap<u32, i64>,
+}
+
+impl ProbeMachine {
+    /// A fresh machine for one probe.
+    pub fn new(meta: ProbeMeta) -> ProbeMachine {
+        let tagged = meta.tags.iter().any(|t| t.disqualifies());
+        ProbeMachine {
+            meta,
+            tagged,
+            v4_count: 0,
+            v6_count: 0,
+            in_leading_testing: true,
+            had_testing: false,
+            heavy: if tagged { None } else { Some(Box::default()) },
+            multihomed: false,
+        }
+    }
+
+    /// Feeds the next connection-log entry (start-time order).
+    pub fn push(&mut self, e: &ConnectionLogEntry, snapshots: &MonthlySnapshots) {
+        debug_assert_eq!(e.probe, self.meta.probe);
+        let Some(addr) = e.peer.v4() else {
+            self.v6_count += 1;
+            self.heavy = None; // Ipv6Only/DualStack from here on
+            return;
+        };
+        self.v4_count += 1;
+        if self.in_leading_testing {
+            if addr == testing_address() {
+                self.had_testing = true;
+                return; // stripped: a leading testing-bench entry
+            }
+            self.in_leading_testing = false;
+        }
+        let Some(h) = self.heavy.as_deref_mut() else {
+            return;
+        };
+
+        // Running max_returns_to_one_address: a return is a switch onto an
+        // address seen before (not the one currently held).
+        if h.prev_addr.is_some() && h.prev_addr != Some(addr) && h.seen.contains(&addr) {
+            let n = h.returns.entry(addr).or_insert(0);
+            *n += 1;
+            h.max_returns = h.max_returns.max(*n);
+        }
+        h.seen.insert(addr);
+        h.prev_addr = Some(addr);
+        if h.max_returns >= ALTERNATION_RETURNS {
+            self.multihomed = true;
+            self.heavy = None; // Multihomed from here on
+            return;
+        }
+
+        let changes_before = h.extractor.changes().len();
+        h.extractor.push(e);
+        // Map a newly emitted change to origin ASes using the month each
+        // address was observed.
+        if let Some(c) = h.extractor.changes().get(changes_before) {
+            let from = snapshots.asn_at(c.gap_start, c.from);
+            let to = snapshots.asn_at(c.gap_end, c.to);
+            h.change_asns.push((from, to));
+            h.multi_as |= from != to;
+        }
+        let asn = snapshots.asn_at(e.start, addr);
+        *h.time_by_asn.entry(asn.0).or_insert(0) += (e.end - e.start).secs();
+        h.entries.push(e.clone());
+    }
+
+    /// The funnel verdict over the entries seen so far, in O(1). The final
+    /// class ([`finish`](Self::finish)) of a fully fed machine is identical.
+    pub fn class(&self) -> ProbeClass {
+        if self.v4_count == 0 {
+            return ProbeClass::Ipv6Only;
+        }
+        if self.v6_count > 0 {
+            return ProbeClass::DualStack;
+        }
+        if self.tagged {
+            return ProbeClass::Tagged;
+        }
+        let h = self.heavy.as_deref();
+        if h.is_none_or(|h| h.entries.is_empty()) {
+            if self.multihomed {
+                return ProbeClass::Multihomed;
+            }
+            // Only testing-bench connections so far.
+            return ProbeClass::TestingOnly;
+        }
+        let h = h.expect("checked above");
+        if h.extractor.changes().is_empty() {
+            if self.had_testing {
+                ProbeClass::TestingOnly
+            } else {
+                ProbeClass::NeverChanged
+            }
+        } else {
+            ProbeClass::Analyzable
+        }
+    }
+
+    /// Whether any change so far crossed autonomous systems.
+    pub fn multi_as(&self) -> bool {
+        self.heavy.as_deref().is_some_and(|h| h.multi_as)
+    }
+
+    /// Retained (stripped, IPv4) entries so far — empty once the class is
+    /// settled short of `Analyzable`.
+    pub fn entries_len(&self) -> usize {
+        self.heavy.as_deref().map_or(0, |h| h.entries.len())
+    }
+
+    /// Address changes emitted so far.
+    pub fn changes_len(&self) -> usize {
+        self.heavy.as_deref().map_or(0, |h| h.extractor.changes().len())
+    }
+
+    /// Inter-connection gaps emitted so far.
+    pub fn gaps_len(&self) -> usize {
+        self.heavy.as_deref().map_or(0, |h| h.extractor.gaps().len())
+    }
+
+    /// Whether a leading testing-address entry was stripped.
+    pub fn had_testing(&self) -> bool {
+        self.had_testing
+    }
+
+    /// The probe's metadata.
+    pub fn meta(&self) -> &ProbeMeta {
+        &self.meta
+    }
+
+    /// Runs the funnel to its verdict; analyzable probes also yield their
+    /// cleaned data.
+    pub fn finish(self) -> (ProbeClass, Option<AnalyzableProbe>) {
+        if self.v4_count == 0 {
+            return (ProbeClass::Ipv6Only, None);
+        }
+        if self.v6_count > 0 {
+            return (ProbeClass::DualStack, None);
+        }
+        if self.tagged {
+            return (ProbeClass::Tagged, None);
+        }
+        if self.multihomed {
+            return (ProbeClass::Multihomed, None);
+        }
+        let h = *self.heavy.expect("untagged v4-only probe keeps heavy state");
+        if h.entries.is_empty() {
+            // Only testing-bench connections: nothing analyzable.
+            return (ProbeClass::TestingOnly, None);
+        }
+
+        let mut events = h.extractor.finish();
+        events.had_testing_entry = self.had_testing;
+        if events.changes.is_empty() {
+            let class = if self.had_testing {
+                ProbeClass::TestingOnly
+            } else {
+                ProbeClass::NeverChanged
+            };
+            return (class, None);
+        }
+
+        // Primary ASN: the origin of the address the probe spent most time on.
+        let primary_asn = Asn(h
+            .time_by_asn
+            .iter()
+            .max_by_key(|(_, secs)| **secs)
+            .map(|(asn, _)| *asn)
+            .unwrap_or(0));
+
+        let probe = AnalyzableProbe {
+            meta: self.meta,
+            entries: h.entries,
+            events,
+            change_asns: h.change_asns,
+            multi_as: h.multi_as,
+            primary_asn,
+        };
+        (ProbeClass::Analyzable, Some(probe))
+    }
+}
+
 /// Classifies one probe; analyzable probes also yield their cleaned data.
+/// Batch driver over [`ProbeMachine`].
 fn classify(
     meta: &ProbeMeta,
     all_entries: &[ConnectionLogEntry],
     snapshots: &MonthlySnapshots,
 ) -> (ProbeClass, Option<AnalyzableProbe>) {
-    let v4_count = all_entries.iter().filter(|e| e.peer.is_v4()).count();
-    let v6_count = all_entries.len() - v4_count;
-    if v4_count == 0 {
-        return (ProbeClass::Ipv6Only, None);
+    let mut m = ProbeMachine::new(meta.clone());
+    for e in all_entries {
+        m.push(e, snapshots);
     }
-    if v6_count > 0 {
-        return (ProbeClass::DualStack, None);
-    }
-    if meta.tags.iter().any(|t| t.disqualifies()) {
-        return (ProbeClass::Tagged, None);
-    }
-
-    let mut entries: Vec<ConnectionLogEntry> = all_entries.to_vec();
-    let had_testing = strip_testing_entries(&mut entries);
-    if entries.is_empty() {
-        // Only testing-bench connections: nothing analyzable.
-        return (ProbeClass::TestingOnly, None);
-    }
-
-    if max_returns_to_one_address(&entries) >= ALTERNATION_RETURNS {
-        return (ProbeClass::Multihomed, None);
-    }
-
-    let mut events = extract_events(&entries);
-    events.had_testing_entry = had_testing;
-    if events.changes.is_empty() {
-        let class =
-            if had_testing { ProbeClass::TestingOnly } else { ProbeClass::NeverChanged };
-        return (class, None);
-    }
-
-    // Map changes to origin ASes using the month each address was observed.
-    let change_asns: Vec<(Asn, Asn)> = events
-        .changes
-        .iter()
-        .map(|c| {
-            let from = snapshots.asn_at(c.gap_start, c.from);
-            let to = snapshots.asn_at(c.gap_end, c.to);
-            (from, to)
-        })
-        .collect();
-    let multi_as = change_asns.iter().any(|(f, t)| f != t);
-
-    // Primary ASN: the origin of the address the probe spent most time on.
-    let mut time_by_asn: BTreeMap<u32, i64> = BTreeMap::new();
-    for e in &entries {
-        let asn = snapshots.asn_at(e.start, e.peer.v4().expect("v4 entries"));
-        *time_by_asn.entry(asn.0).or_insert(0) += (e.end - e.start).secs();
-    }
-    let primary_asn = Asn(time_by_asn
-        .iter()
-        .max_by_key(|(_, secs)| **secs)
-        .map(|(asn, _)| *asn)
-        .unwrap_or(0));
-
-    let probe = AnalyzableProbe {
-        meta: meta.clone(),
-        entries,
-        events,
-        change_asns,
-        multi_as,
-        primary_asn,
-    };
-    (ProbeClass::Analyzable, Some(probe))
+    m.finish()
 }
 
 impl AnalyzableProbe {

@@ -23,6 +23,9 @@
 //! * [`assoc`] — outage-to-gap association, conditional change
 //!   probabilities, and duration buckets (Figs. 7–9, Table 6);
 //! * [`prefixes`] — cross-prefix analysis (Table 7, §6);
+//! * [`live`] — the pipeline as incremental per-probe state machines over
+//!   an append-only stream, with batch-replay equivalence (the `dynaddrd`
+//!   backend);
 //! * [`admin`] — administrative-renumbering detection and churn
 //!   attribution (the §8 future work, implemented);
 //! * [`advisor`] — per-AS address-lifetime advisories, the operational
@@ -46,6 +49,7 @@ pub mod filtering;
 pub mod firmware;
 pub mod geo;
 pub mod hourly;
+pub mod live;
 pub mod outages;
 pub mod periodic;
 pub mod pipeline;
@@ -54,7 +58,10 @@ pub mod report;
 pub mod stats;
 pub mod ttf;
 
-pub use filtering::{filter_probes, FilterCounts, FilterReport, ProbeClass, StreamingFilter};
+pub use filtering::{
+    filter_probes, FilterCounts, FilterReport, ProbeClass, ProbeMachine, StreamingFilter,
+};
+pub use live::{replay_plan, IncrementalAnalyzer, IngestStats, ProbeView, ReplayRow, ReplayStep};
 pub use pipeline::{
     analyze, analyze_streamed, analyze_streamed_batched, AnalysisConfig, AnalysisReport,
 };

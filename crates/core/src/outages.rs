@@ -68,66 +68,269 @@ impl PowerOutage {
     }
 }
 
+/// Incremental network-outage detector: the state machine behind
+/// [`detect_network_outages`], usable one record at a time.
+///
+/// Between pushes it carries only the open all-lost run (bounds, first/last
+/// LTS, monotonicity flag) plus the completed outages, so a resident daemon
+/// holds O(1) state per probe beyond its output.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkOutageDetector {
+    out: Vec<NetworkOutage>,
+    run: Option<LossRun>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LossRun {
+    probe: ProbeId,
+    start: SimTime,
+    end: SimTime,
+    single: bool,
+    first_lts: i64,
+    last_lts: i64,
+    lts_monotonic: bool,
+}
+
+impl NetworkOutageDetector {
+    /// A fresh detector with no records seen.
+    pub fn new() -> NetworkOutageDetector {
+        NetworkOutageDetector::default()
+    }
+
+    /// Feeds the next k-root record (time order).
+    pub fn push(&mut self, rec: &KrootPingRecord) {
+        if rec.all_lost() {
+            match self.run.as_mut() {
+                Some(run) => {
+                    debug_assert!(run.end <= rec.timestamp, "sorted input");
+                    run.end = rec.timestamp;
+                    run.single = false;
+                    run.lts_monotonic &= rec.lts_secs > run.last_lts;
+                    run.last_lts = rec.lts_secs;
+                }
+                None => {
+                    self.run = Some(LossRun {
+                        probe: rec.probe,
+                        start: rec.timestamp,
+                        end: rec.timestamp,
+                        single: true,
+                        first_lts: rec.lts_secs,
+                        last_lts: rec.lts_secs,
+                        lts_monotonic: true,
+                    });
+                }
+            }
+        } else {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(run) = self.run.take() {
+            let lts_grew = if run.single {
+                run.first_lts > KROOT_GRID_SECS
+            } else {
+                run.lts_monotonic
+            };
+            if lts_grew {
+                self.out.push(NetworkOutage {
+                    probe: run.probe,
+                    start: run.start,
+                    end: run.end,
+                });
+            }
+        }
+    }
+
+    /// The outages completed so far (an open loss run is not yet counted).
+    pub fn outages(&self) -> &[NetworkOutage] {
+        &self.out
+    }
+
+    /// Flushes the trailing run and returns all detected outages.
+    pub fn finish(mut self) -> Vec<NetworkOutage> {
+        self.flush();
+        self.out
+    }
+}
+
 /// Detects network outages in one probe's time-sorted k-root records.
 ///
 /// A run qualifies when every record lost all pings and the LTS values are
 /// strictly increasing across the run (a single lost round qualifies when
 /// its LTS already exceeds the measurement cadence — the clock had not
-/// synced for longer than one round).
+/// synced for longer than one round). Batch driver over
+/// [`NetworkOutageDetector`].
 pub fn detect_network_outages(records: &[KrootPingRecord]) -> Vec<NetworkOutage> {
-    let mut out = Vec::new();
-    let mut run: Option<(usize, usize)> = None; // [start, end] indices
-    let flush = |run: Option<(usize, usize)>, out: &mut Vec<NetworkOutage>| {
-        if let Some((a, b)) = run {
-            let lts_grew = if a == b {
-                records[a].lts_secs > KROOT_GRID_SECS
-            } else {
-                records[a..=b].windows(2).all(|w| w[1].lts_secs > w[0].lts_secs)
-            };
-            if lts_grew {
-                out.push(NetworkOutage {
-                    probe: records[a].probe,
-                    start: records[a].timestamp,
-                    end: records[b].timestamp,
-                });
-            }
-        }
-    };
-    for (i, rec) in records.iter().enumerate() {
-        debug_assert!(i == 0 || records[i - 1].timestamp <= rec.timestamp, "sorted input");
-        if rec.all_lost() {
-            run = match run {
-                Some((a, _)) => Some((a, i)),
-                None => Some((i, i)),
-            };
+    let mut m = NetworkOutageDetector::new();
+    for rec in records {
+        m.push(rec);
+    }
+    m.finish()
+}
+
+/// Incremental reboot detector: the state machine behind [`detect_reboots`].
+/// Carries only the previous uptime record between pushes.
+#[derive(Debug, Clone, Default)]
+pub struct RebootDetector {
+    prev: Option<SosUptimeRecord>,
+}
+
+impl RebootDetector {
+    /// A fresh detector with no records seen.
+    pub fn new() -> RebootDetector {
+        RebootDetector::default()
+    }
+
+    /// Feeds the next SOS-uptime record (time order); returns the reboot it
+    /// reveals, if any.
+    pub fn push(&mut self, rec: &SosUptimeRecord) -> Option<Reboot> {
+        let prev = self.prev.replace(*rec)?;
+        // Counter must have reset: the implied boot is after the previous
+        // report (a merely-smaller counter from reordered records is not).
+        if (rec.uptime_secs as i64) - (rec.timestamp - prev.timestamp).secs()
+            < prev.uptime_secs as i64
+            && rec.boot_time() > prev.timestamp
+        {
+            Some(Reboot {
+                probe: rec.probe,
+                boot_time: rec.boot_time(),
+                report_time: rec.timestamp,
+            })
         } else {
-            flush(run.take(), &mut out);
+            None
         }
     }
-    flush(run, &mut out);
-    out
 }
 
 /// Detects reboots in one probe's time-sorted SOS-uptime records: the
-/// counter going backwards implies a reset in between.
+/// counter going backwards implies a reset in between. Batch driver over
+/// [`RebootDetector`].
 pub fn detect_reboots(records: &[SosUptimeRecord]) -> Vec<Reboot> {
-    let mut out = Vec::new();
-    for pair in records.windows(2) {
-        let (prev, next) = (&pair[0], &pair[1]);
-        // Counter must have reset: the implied boot is after the previous
-        // report (a merely-smaller counter from reordered records is not).
-        if next.uptime_secs as i64 - (next.timestamp - prev.timestamp).secs()
-            < prev.uptime_secs as i64
-            && next.boot_time() > prev.timestamp
-        {
-            out.push(Reboot {
-                probe: next.probe,
-                boot_time: next.boot_time(),
-                report_time: next.timestamp,
-            });
+    let mut m = RebootDetector::new();
+    records.iter().filter_map(|rec| m.push(rec)).collect()
+}
+
+/// The k-root records bracketing one reboot's boot instant: `(timestamp of
+/// the last record before boot, timestamp of the first record at/after
+/// boot)`, or `None` when the boot falls before the first or after the last
+/// k-root record.
+pub type DarkBracket = Option<(SimTime, SimTime)>;
+
+/// Incremental power-outage bracketer for one probe.
+///
+/// The batch rule brackets each reboot's boot instant between the k-root
+/// records around it (`partition_point` over the full record array). This
+/// machine reproduces those brackets from an interleaved time-ordered stream
+/// of k-root timestamps and reboots while retaining only a short window of
+/// k-root timestamps:
+///
+/// * a reboot whose boot instant is at or before the newest k-root record
+///   resolves immediately by binary search over the retained window;
+/// * otherwise it parks as *pending* until a k-root record at/after its boot
+///   instant arrives (resolving with that record as the right bracket), or
+///   until [`finish`](Self::finish) (no right bracket → `None`, matching the
+///   batch `after_idx >= len` skip).
+///
+/// [`prune`](Self::prune) may drop retained timestamps `≤ bound` (keeping
+/// the newest such, which is the only one a later boot can still bracket
+/// with) whenever the caller knows every future reboot boots after `bound` —
+/// true for the timestamp of any already-processed uptime record, because
+/// the reboot rule requires `boot_time > prev.timestamp`. Pruning therefore
+/// never changes the emitted brackets, only the memory held.
+#[derive(Debug, Clone, Default)]
+pub struct KrootBracketer {
+    /// Retained k-root timestamps, ascending.
+    window: std::collections::VecDeque<SimTime>,
+    /// Reboots awaiting a k-root record at/after their boot instant.
+    pending: Vec<Reboot>,
+    /// Resolved `(reboot, bracket)` pairs, in reboot order.
+    resolved: Vec<(Reboot, DarkBracket)>,
+}
+
+impl KrootBracketer {
+    /// A fresh bracketer with no records seen.
+    pub fn new() -> KrootBracketer {
+        KrootBracketer::default()
+    }
+
+    /// Feeds the next k-root record timestamp (time order).
+    pub fn push_kroot(&mut self, ts: SimTime) {
+        debug_assert!(self.window.back().is_none_or(|&b| b <= ts), "sorted input");
+        // This record is the first at/after every pending boot ≤ it: the
+        // right bracket. The left bracket is the newest earlier record.
+        if !self.pending.is_empty() {
+            let take = self.pending.iter().take_while(|r| r.boot_time <= ts).count();
+            for r in self.pending.drain(..take) {
+                let bracket = self.window.back().map(|&before| (before, ts));
+                self.resolved.push((r, bracket));
+            }
+        }
+        self.window.push_back(ts);
+    }
+
+    /// Feeds the next detected reboot. Reboots must arrive in boot order,
+    /// interleaved with k-root pushes such that every k-root record strictly
+    /// before the boot instant has already been pushed (true when both
+    /// streams are fed in record-time order: the reboot surfaces at its
+    /// report time, which is at or after its boot time).
+    pub fn push_reboot(&mut self, r: Reboot) {
+        let idx = self.window.partition_point(|&ts| ts < r.boot_time);
+        if idx == self.window.len() {
+            self.pending.push(r);
+        } else if idx == 0 {
+            // No k-root record before the boot: the pruning contract keeps
+            // the newest record ≤ any future boot, so an empty left side
+            // here means there genuinely was none.
+            self.resolved.push((r, None));
+        } else {
+            self.resolved.push((r, Some((self.window[idx - 1], self.window[idx]))));
         }
     }
-    out
+
+    /// Drops retained k-root timestamps `≤ bound` except the newest such.
+    /// Only call with a `bound` every future reboot is known to boot after
+    /// (e.g. the timestamp of an uptime record already fed to the reboot
+    /// detector).
+    pub fn prune(&mut self, bound: SimTime) {
+        while self.window.len() >= 2 && self.window[1] <= bound {
+            self.window.pop_front();
+        }
+    }
+
+    /// Resolves still-pending reboots (no right bracket → `None`) and
+    /// returns all `(reboot, bracket)` pairs in reboot order.
+    pub fn finish(mut self) -> Vec<(Reboot, DarkBracket)> {
+        for r in self.pending.drain(..) {
+            self.resolved.push((r, None));
+        }
+        self.resolved
+    }
+}
+
+/// Applies the §3.6 power-outage rule to one bracketed reboot: the dark
+/// window must span at least two measurement rounds (a round is missing) and
+/// must not overlap a *network* outage (priority ordering).
+pub fn classify_bracket(
+    reboot: &Reboot,
+    bracket: DarkBracket,
+    network: &[NetworkOutage],
+) -> Option<PowerOutage> {
+    let (dark_start, dark_end) = bracket?;
+    if (dark_end - dark_start).secs() < 2 * KROOT_GRID_SECS {
+        return None; // no missing rounds: not a power outage
+    }
+    let overlaps_network =
+        network.iter().any(|n| n.end >= dark_start && n.start <= dark_end);
+    if overlaps_network {
+        return None;
+    }
+    Some(PowerOutage {
+        probe: reboot.probe,
+        boot_time: reboot.boot_time,
+        dark_start,
+        dark_end,
+    })
 }
 
 /// Classifies reboots into power outages using the k-root record stream.
@@ -136,41 +339,30 @@ pub fn detect_reboots(records: &[SosUptimeRecord]) -> Vec<Reboot> {
 /// dark period: the gap between the bracketing records spans at least two
 /// measurement rounds (i.e., at least one round is missing), and the records
 /// inside the gap (there are none, by construction of the brackets) did not
-/// already mark it as a *network* outage.
+/// already mark it as a *network* outage. Batch driver over
+/// [`KrootBracketer`] + [`classify_bracket`].
 pub fn detect_power_outages(
     reboots: &[Reboot],
     kroot: &[KrootPingRecord],
     network: &[NetworkOutage],
 ) -> Vec<PowerOutage> {
-    let mut out = Vec::new();
+    let mut m = KrootBracketer::new();
+    let mut ki = 0;
     for reboot in reboots {
-        // Bracketing k-root records around the boot instant.
-        let after_idx = kroot.partition_point(|r| r.timestamp < reboot.boot_time);
-        if after_idx == 0 || after_idx >= kroot.len() {
-            continue;
+        while ki < kroot.len() && kroot[ki].timestamp <= reboot.report_time {
+            m.push_kroot(kroot[ki].timestamp);
+            ki += 1;
         }
-        let before = &kroot[after_idx - 1];
-        let after = &kroot[after_idx];
-        let gap = (after.timestamp - before.timestamp).secs();
-        if gap < 2 * KROOT_GRID_SECS {
-            continue; // no missing rounds: not a power outage
-        }
-        // Priority ordering (§3.6): if a network outage overlaps this dark
-        // window, the gap is attributed to the network outage instead.
-        let overlaps_network = network.iter().any(|n| {
-            n.end >= before.timestamp && n.start <= after.timestamp
-        });
-        if overlaps_network {
-            continue;
-        }
-        out.push(PowerOutage {
-            probe: reboot.probe,
-            boot_time: reboot.boot_time,
-            dark_start: before.timestamp,
-            dark_end: after.timestamp,
-        });
+        m.push_reboot(*reboot);
+        m.prune(reboot.report_time);
     }
-    out
+    for rec in &kroot[ki..] {
+        m.push_kroot(rec.timestamp);
+    }
+    m.finish()
+        .into_iter()
+        .filter_map(|(r, bracket)| classify_bracket(&r, bracket, network))
+        .collect()
 }
 
 #[cfg(test)]

@@ -426,9 +426,10 @@ pub fn analyze_streamed_batched(
 
 /// Everything downstream of the two dataset-consuming stages: turns the
 /// filter report and outage analysis into the full [`AnalysisReport`].
-/// Shared verbatim by [`analyze`] and [`analyze_streamed`], which is what
-/// makes the two paths byte-identical.
-fn finish_analysis(
+/// Shared verbatim by [`analyze`], [`analyze_streamed`], and the live
+/// analyzer's seal ([`crate::live::IncrementalAnalyzer::seal`]), which is
+/// what makes the three paths byte-identical.
+pub(crate) fn finish_analysis(
     report: FilterReport,
     oa: OutageAnalysis,
     snapshots: &MonthlySnapshots,

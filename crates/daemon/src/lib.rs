@@ -1,0 +1,408 @@
+//! # dynaddr-daemon
+//!
+//! The live ingestion daemon behind the `dynaddrd` binary: a resident
+//! [`Daemon`] wraps [`dynaddr_core::live::IncrementalAnalyzer`] — the
+//! whole paper pipeline as per-probe state machines — behind a mutex, and
+//! serves its rolling state over the same Unix-socket protocol `queryd`
+//! speaks. `dynaddrd` and `queryd` share one serving front-end
+//! ([`dynaddr_query::server`]); only the [`Answerer`] behind it differs.
+//!
+//! Two ways records arrive:
+//!
+//! * **Replay** ([`Daemon::replay`]): every record of a `dataset.store`,
+//!   stably ordered by arrival time, optionally paced by a rate multiple
+//!   of simulated real time ([`Rate`]). This is the CI-pinned path: a full
+//!   replay followed by [`Daemon::seal_text`] renders **byte-for-byte**
+//!   the report the batch `analyze` binary prints for the same directory.
+//! * **Live pushes** ([`Daemon::push_meta`] and friends): the same entry
+//!   points, one record at a time, for ingesting a simulator or collector
+//!   as it emits.
+//!
+//! Point queries ([`Request::DaemonSnapshot`], [`Request::DaemonProbe`],
+//! [`Request::IngestStats`]) answer from rolling state in O(1)–O(log n)
+//! under a brief lock; sealing clones the per-probe machines, so the
+//! stream keeps flowing while a report renders. Ingest volume and seal
+//! spans flow into `dynaddr-obs` (`daemon.*` counters, `daemon.replay`
+//! heartbeats) and from there into the `--trace` sidecar.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dynaddr_atlas::logs::{
+    AtlasDataset, ConnectionLogEntry, KrootPingRecord, ProbeMeta, SosUptimeRecord,
+};
+use dynaddr_core::live::{replay_plan, IncrementalAnalyzer};
+use dynaddr_core::pipeline::AnalysisConfig;
+use dynaddr_core::report::render_full;
+use dynaddr_core::ProbeClass;
+use dynaddr_ip2as::MonthlySnapshots;
+use dynaddr_query::proto::{DaemonProbeReply, DaemonSnapshotReply, IngestStatsReply};
+use dynaddr_query::{Request, Response};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Replay pacing: how fast recorded time is pushed relative to wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rate {
+    /// No pacing; records are pushed as fast as they apply.
+    Max,
+    /// `N` seconds of recorded time per wall-clock second.
+    Multiplier(f64),
+}
+
+impl Rate {
+    /// Parses `"max"` or a positive multiplier.
+    pub fn parse(s: &str) -> Result<Rate, String> {
+        if s.eq_ignore_ascii_case("max") {
+            return Ok(Rate::Max);
+        }
+        match s.parse::<f64>() {
+            Ok(m) if m > 0.0 && m.is_finite() => Ok(Rate::Multiplier(m)),
+            _ => Err(format!("--rate wants \"max\" or a positive number, got {s:?}")),
+        }
+    }
+}
+
+/// How many records are applied per lock acquisition during an unpaced
+/// replay — large enough to keep the lock cheap, small enough that point
+/// queries never wait noticeably.
+const REPLAY_CHUNK: usize = 256;
+
+/// The resident daemon state: the incremental analyzer plus the ingest
+/// bookkeeping the wire protocol reports.
+pub struct Daemon {
+    live: Mutex<IncrementalAnalyzer>,
+    cfg: AnalysisConfig,
+    started: Instant,
+    rows_planned: AtomicU64,
+    rows_ingested: AtomicU64,
+    sealed: AtomicBool,
+}
+
+fn class_code(c: ProbeClass) -> u8 {
+    match c {
+        ProbeClass::Ipv6Only => 0,
+        ProbeClass::DualStack => 1,
+        ProbeClass::Tagged => 2,
+        ProbeClass::Multihomed => 3,
+        ProbeClass::TestingOnly => 4,
+        ProbeClass::NeverChanged => 5,
+        ProbeClass::Analyzable => 6,
+    }
+}
+
+impl Daemon {
+    /// An empty daemon over the given IP-to-AS snapshots and analysis
+    /// configuration (the same `AnalysisConfig` the batch `analyze` run
+    /// would use, so sealed reports are comparable).
+    pub fn new(snapshots: MonthlySnapshots, cfg: AnalysisConfig) -> Daemon {
+        Daemon {
+            live: Mutex::new(IncrementalAnalyzer::new(snapshots)),
+            cfg,
+            started: Instant::now(),
+            rows_planned: AtomicU64::new(0),
+            rows_ingested: AtomicU64::new(0),
+            sealed: AtomicBool::new(false),
+        }
+    }
+
+    /// Introduces one probe (live ingestion entry point).
+    pub fn push_meta(&self, meta: &ProbeMeta) {
+        self.live.lock().unwrap().push_meta(meta);
+    }
+
+    /// Feeds one connection-log entry (live ingestion entry point).
+    pub fn push_connection(&self, e: &ConnectionLogEntry) {
+        self.live.lock().unwrap().push_connection(e);
+        self.rows_ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Feeds one k-root ping record (live ingestion entry point).
+    pub fn push_kroot(&self, r: &KrootPingRecord) {
+        self.live.lock().unwrap().push_kroot(r);
+        self.rows_ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Feeds one SOS-uptime record (live ingestion entry point).
+    pub fn push_uptime(&self, r: &SosUptimeRecord) {
+        self.live.lock().unwrap().push_uptime(r);
+        self.rows_ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replays a whole dataset in arrival order: all meta rows first, then
+    /// every record, paced by `rate`. Point queries interleave freely —
+    /// the lock is released between chunks (unpaced) or records (paced).
+    pub fn replay(&self, ds: &AtlasDataset, rate: Rate) {
+        let plan = replay_plan(ds);
+        self.rows_planned.store(plan.len() as u64, Ordering::Relaxed);
+        {
+            let mut live = self.live.lock().unwrap();
+            for meta in &ds.meta {
+                live.push_meta(meta);
+            }
+        }
+        dynaddr_obs::counter_add("daemon.meta_rows", ds.meta.len() as u64);
+        let progress = dynaddr_obs::Progress::start("daemon.replay", plan.len() as u64);
+        match rate {
+            Rate::Max => {
+                for chunk in plan.chunks(REPLAY_CHUNK) {
+                    let mut live = self.live.lock().unwrap();
+                    for step in chunk {
+                        live.apply(ds, step.row);
+                    }
+                    drop(live);
+                    self.rows_ingested.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    dynaddr_obs::counter_add("daemon.rows_ingested", chunk.len() as u64);
+                    progress.add(chunk.len() as u64);
+                }
+            }
+            Rate::Multiplier(m) => {
+                let Some(first) = plan.first() else {
+                    progress.finish();
+                    return;
+                };
+                let origin = first.time.0;
+                let wall_start = Instant::now();
+                for step in &plan {
+                    let due = Duration::from_secs_f64(
+                        ((step.time.0 - origin).max(0) as f64) / m,
+                    );
+                    let elapsed = wall_start.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                    self.live.lock().unwrap().apply(ds, step.row);
+                    self.rows_ingested.fetch_add(1, Ordering::Relaxed);
+                    dynaddr_obs::counter_add("daemon.rows_ingested", 1);
+                    progress.add(1);
+                }
+            }
+        }
+        progress.finish();
+    }
+
+    /// Seals a snapshot of the live stream into the full rendered report —
+    /// the exact text the batch `analyze` binary prints, once the stream
+    /// is complete. The live state keeps ingesting afterwards.
+    pub fn seal_text(&self) -> String {
+        let report = {
+            let live = self.live.lock().unwrap();
+            live.seal(&self.cfg)
+        };
+        self.sealed.store(true, Ordering::Relaxed);
+        dynaddr_obs::counter_add("daemon.seals", 1);
+        render_full(&report, &self.cfg.as_names)
+    }
+
+    /// The analysis configuration sealed reports use.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
+    /// The rolling funnel + event totals, as the wire reports them.
+    pub fn snapshot_reply(&self) -> DaemonSnapshotReply {
+        let live = self.live.lock().unwrap();
+        let c = live.rolling_counts();
+        let s = live.stats();
+        DaemonSnapshotReply {
+            total: c.total as u64,
+            ipv6_only: c.ipv6_only as u64,
+            dual_stack: c.dual_stack as u64,
+            tagged: c.tagged as u64,
+            multihomed: c.multihomed as u64,
+            testing_only: c.testing_only as u64,
+            never_changed: c.never_changed as u64,
+            analyzable_geo: c.analyzable_geo as u64,
+            multi_as: c.multi_as as u64,
+            analyzable_as: c.analyzable_as as u64,
+            changes: s.changes,
+            gaps: s.gaps,
+            network_outages: s.network_outages,
+            reboots: s.reboots,
+            frontier_secs: s.frontier_secs,
+            probes_tracked: live.probes_tracked() as u64,
+            sealed: self.sealed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One probe's rolling state, if introduced.
+    pub fn probe_reply(&self, id: u32) -> Option<DaemonProbeReply> {
+        let view = self.live.lock().unwrap().probe_view(id)?;
+        Some(DaemonProbeReply {
+            probe: id,
+            class: class_code(view.class),
+            multi_as: view.multi_as,
+            entries: view.entries as u64,
+            changes: view.changes as u64,
+            gaps: view.gaps as u64,
+            network_outages: view.network_outages as u64,
+            reboots: view.reboots as u64,
+            had_testing: view.had_testing,
+        })
+    }
+
+    /// The ingest counters and replay progress, as the wire reports them.
+    pub fn ingest_reply(&self) -> IngestStatsReply {
+        let stats = self.live.lock().unwrap().stats().clone();
+        IngestStatsReply {
+            meta_rows: stats.meta_rows,
+            connection_rows: stats.connection_rows,
+            kroot_rows: stats.kroot_rows,
+            uptime_rows: stats.uptime_rows,
+            unknown_probe_rows: stats.unknown_probe_rows,
+            frontier_secs: stats.frontier_secs,
+            rows_ingested: self.rows_ingested.load(Ordering::Relaxed),
+            rows_planned: self.rows_planned.load(Ordering::Relaxed),
+            elapsed_ms: self.started.elapsed().as_millis() as u64,
+            sealed: self.sealed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answers one request from the rolling state. Dataset queries belong
+    /// to `queryd`; here they are a typed error, not a panic.
+    pub fn answer_request(&self, req: &Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::DaemonSnapshot => Response::DaemonSnapshot(self.snapshot_reply()),
+            Request::DaemonProbe(p) => Response::DaemonProbe(self.probe_reply(p.0)),
+            Request::IngestStats => Response::IngestStats(self.ingest_reply()),
+            Request::ServerStats => {
+                Response::Error("ServerStats is answered by the serving front-end".into())
+            }
+            _ => Response::Error(
+                "dynaddrd serves daemon requests only; dataset queries belong to queryd"
+                    .into(),
+            ),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl dynaddr_query::Answerer for Daemon {
+    fn answer(&self, req: &Request) -> Response {
+        self.answer_request(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynaddr_atlas::world::{paper_route_tables, paper_world};
+
+    fn small_daemon() -> (Daemon, AtlasDataset) {
+        let world = paper_world(0.01, 3);
+        let out = dynaddr_atlas::simulate(&world);
+        let snaps = paper_route_tables(&world);
+        let mut cfg = AnalysisConfig { fig3_min_years: 0.01, ..AnalysisConfig::default() };
+        for (asn, policy) in &out.truth.isp_policies {
+            cfg.as_names.insert(*asn, policy.name.clone());
+        }
+        (Daemon::new(snaps, cfg), out.dataset)
+    }
+
+    #[test]
+    fn replay_then_seal_matches_batch() {
+        let (daemon, ds) = small_daemon();
+        daemon.replay(&ds, Rate::Max);
+        let ingest = daemon.ingest_reply();
+        assert_eq!(ingest.rows_ingested, ingest.rows_planned);
+        assert!(!ingest.sealed);
+        let sealed = daemon.seal_text();
+        let snaps = {
+            // Rebuild inputs independently for the batch reference.
+            let world = paper_world(0.01, 3);
+            paper_route_tables(&world)
+        };
+        let batch = dynaddr_core::pipeline::analyze(&ds, &snaps, daemon.config());
+        assert_eq!(sealed, render_full(&batch, &daemon.config().as_names));
+        assert!(daemon.ingest_reply().sealed);
+    }
+
+    #[test]
+    fn snapshot_and_probe_queries_answer_rolling_state() {
+        let (daemon, ds) = small_daemon();
+        daemon.replay(&ds, Rate::Max);
+        let snap = daemon.snapshot_reply();
+        assert_eq!(snap.total as usize, ds.meta.len());
+        assert_eq!(snap.probes_tracked as usize, ds.meta.len());
+        assert!(snap.frontier_secs > 0);
+        let some_probe = ds.meta[0].probe.0;
+        let view = daemon.probe_reply(some_probe).expect("probe is tracked");
+        assert_eq!(view.probe, some_probe);
+        assert!(view.class <= 6);
+        assert!(daemon.probe_reply(u32::MAX).is_none());
+    }
+
+    #[test]
+    fn dataset_queries_are_typed_errors() {
+        let (daemon, _) = small_daemon();
+        assert!(matches!(
+            daemon.answer_request(&Request::TopMovers(5)),
+            Response::Error(_)
+        ));
+        assert!(matches!(daemon.answer_request(&Request::Ping), Response::Pong));
+    }
+
+    #[test]
+    fn rate_parses() {
+        assert_eq!(Rate::parse("max").unwrap(), Rate::Max);
+        assert_eq!(Rate::parse("MAX").unwrap(), Rate::Max);
+        assert_eq!(Rate::parse("1000").unwrap(), Rate::Multiplier(1000.0));
+        assert!(Rate::parse("0").is_err());
+        assert!(Rate::parse("-3").is_err());
+        assert!(Rate::parse("soon").is_err());
+    }
+
+    /// End-to-end over a real socket: serve the daemon, replay, and check
+    /// the three daemon queries plus the front-end's ServerStats.
+    #[cfg(unix)]
+    #[test]
+    fn daemon_serves_over_unix_socket() {
+        use dynaddr_query::{serve, QueryClient};
+        use std::sync::Arc;
+
+        let (daemon, ds) = small_daemon();
+        let daemon = Arc::new(daemon);
+        let sock = std::env::temp_dir()
+            .join(format!("dynaddrd-test-{}.sock", std::process::id()));
+        let server = serve(Arc::clone(&daemon), &sock).expect("bind");
+        let handle = server.handle();
+        let srv = std::thread::spawn(move || server.run());
+
+        daemon.replay(&ds, Rate::Max);
+        let mut client =
+            QueryClient::connect_retry(&sock, Duration::from_secs(5)).expect("connect");
+        match client.request(&Request::DaemonSnapshot).unwrap() {
+            Response::DaemonSnapshot(s) => {
+                assert_eq!(s.total as usize, ds.meta.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.request(&Request::IngestStats).unwrap() {
+            Response::IngestStats(s) => {
+                assert_eq!(s.rows_ingested, s.rows_planned);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.request(&Request::DaemonProbe(ds.meta[0].probe)).unwrap() {
+            Response::DaemonProbe(Some(p)) => assert_eq!(p.probe, ds.meta[0].probe.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.request(&Request::ServerStats).unwrap() {
+            Response::ServerStats(s) => {
+                assert!(s.requests_total >= 4);
+                assert_eq!(s.connections_total, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.request(&Request::TopMovers(3)).unwrap() {
+            Response::Error(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(client);
+        handle.stop();
+        srv.join().unwrap().unwrap();
+        let _ = std::fs::remove_file(&sock);
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! queryc --data DIR [--socket PATH] [--count N] [--seed S] [--out FILE]
+//!        [--stats]
 //! ```
 //!
 //! Builds the workload operand universe from `DIR` (so the request
@@ -10,6 +11,11 @@
 //! Output is one line per request — `<index> <hex of response bytes>` —
 //! which makes runs diffable: remote vs local, cold vs warm. That diff is
 //! the CI query smoke.
+//!
+//! `--stats` asks the server for its own counters (uptime, request
+//! counts, cache hits/misses) after the workload and prints them to
+//! stderr, human-readably — deliberately outside the diffable hex stream,
+//! since server counters differ between runs by construction.
 
 #[cfg(unix)]
 fn main() {
@@ -27,6 +33,7 @@ fn main() {
 
 #[cfg(unix)]
 fn run() -> Result<(), String> {
+    use dynaddr_query::proto::{Request, Response};
     use dynaddr_query::{proto, LocalAnswerer, QueryClient, Workload};
     use std::io::Write;
     use std::path::PathBuf;
@@ -37,6 +44,7 @@ fn run() -> Result<(), String> {
     let mut count: u64 = 100;
     let mut seed: u64 = 0xD15EA5E;
     let mut out: Option<PathBuf> = None;
+    let mut want_stats = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -50,10 +58,11 @@ fn run() -> Result<(), String> {
             }
             "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--stats" => want_stats = true,
             "--help" | "-h" => {
                 println!(
                     "usage: queryc --data DIR [--socket PATH] [--count N] \
-                     [--seed S] [--out FILE]"
+                     [--seed S] [--out FILE] [--stats]"
                 );
                 return Ok(());
             }
@@ -102,5 +111,25 @@ fn run() -> Result<(), String> {
         sink.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
     }
     sink.flush().map_err(|e| e.to_string())?;
+
+    if want_stats {
+        let Some(c) = &mut client else {
+            return Err("--stats needs --socket (server counters live in the server)".into());
+        };
+        match c.request(&Request::ServerStats).map_err(|e| format!("--stats: {e}"))? {
+            Response::ServerStats(s) => {
+                eprintln!("server: up {}s, {} connections, {} requests", s.uptime_secs, s.connections_total, s.requests_total);
+                for (tag, n) in &s.requests_by_tag {
+                    eprintln!("  tag {tag}: {n}");
+                }
+                eprintln!(
+                    "  cache: {} hits, {} misses, {} evictions",
+                    s.cache_hits, s.cache_misses, s.cache_evictions
+                );
+            }
+            Response::Error(e) => return Err(format!("--stats: server said: {e}")),
+            other => return Err(format!("--stats: unexpected response {other:?}")),
+        }
+    }
     Ok(())
 }

@@ -358,6 +358,14 @@ impl QueryEngine {
             Request::ProbeTruth(p) => Response::ProbeTruth(
                 self.truth.as_ref().and_then(|t| t.probe(p.0)).cloned(),
             ),
+            // The server front-end answers this itself; reaching the
+            // engine means the caller went around the server.
+            Request::ServerStats => {
+                Response::Error("ServerStats is answered by the serving front-end".into())
+            }
+            Request::DaemonSnapshot | Request::DaemonProbe(_) | Request::IngestStats => {
+                Response::Error("daemon-only request; this is a batch query backend".into())
+            }
         }
     }
 }

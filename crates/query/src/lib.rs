@@ -49,5 +49,5 @@ pub use index::StatsIndex;
 pub use local::LocalAnswerer;
 pub use proto::{Request, Response};
 #[cfg(unix)]
-pub use server::{serve, QueryClient, Server, ServerHandle};
+pub use server::{serve, Answerer, QueryClient, Server, ServerHandle};
 pub use workload::Workload;

@@ -123,6 +123,12 @@ impl LocalAnswerer {
             Request::ProbeTruth(p) => Response::ProbeTruth(
                 self.truth.as_ref().and_then(|t| t.probe(p.0)).cloned(),
             ),
+            Request::ServerStats => {
+                Response::Error("ServerStats is answered by the serving front-end".into())
+            }
+            Request::DaemonSnapshot | Request::DaemonProbe(_) | Request::IngestStats => {
+                Response::Error("daemon-only request; this is a batch query backend".into())
+            }
         }
     }
 }

@@ -50,6 +50,16 @@ pub enum Request {
     /// One probe's ground-truth changes and outages (requires a
     /// `truth.store` beside the dataset; answered `None` otherwise).
     ProbeTruth(ProbeId),
+    /// The serving process's own statistics: uptime, request counts, cache
+    /// counters. Answered by the server itself, not the data backend.
+    ServerStats,
+    /// A daemon's rolling Table 2 funnel over the records ingested so far
+    /// (`dynaddrd` only; batch backends answer [`Response::Error`]).
+    DaemonSnapshot,
+    /// One probe's rolling state in a daemon (`dynaddrd` only).
+    DaemonProbe(ProbeId),
+    /// A daemon's ingest counters and replay progress (`dynaddrd` only).
+    IngestStats,
 }
 
 /// The answer to a [`Request`], variant for variant.
@@ -71,6 +81,14 @@ pub enum Response {
     ProbeTruth(Option<ProbeTruthReply>),
     /// The query failed (e.g. a corrupt segment); the message names why.
     Error(String),
+    /// Answer to [`Request::ServerStats`].
+    ServerStats(ServerStatsReply),
+    /// Answer to [`Request::DaemonSnapshot`].
+    DaemonSnapshot(DaemonSnapshotReply),
+    /// Answer to [`Request::DaemonProbe`]; `None` for an untracked probe.
+    DaemonProbe(Option<DaemonProbeReply>),
+    /// Answer to [`Request::IngestStats`].
+    IngestStats(IngestStatsReply),
 }
 
 /// Probe metadata on the wire.
@@ -300,6 +318,121 @@ pub struct ProbeTruthReply {
     pub changes: Vec<TruthChangeReply>,
     /// Its ground-truth outages, in time order.
     pub outages: Vec<TruthOutageReply>,
+}
+
+/// Answer payload for [`Request::ServerStats`]: the serving process's own
+/// counters. Filled in by the server front-end, never by a data backend.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStatsReply {
+    /// Seconds since the server started accepting connections.
+    pub uptime_secs: u64,
+    /// Connections accepted since start.
+    pub connections_total: u64,
+    /// Requests answered since start (all kinds, including this one).
+    pub requests_total: u64,
+    /// Per-request-kind counts as `(wire tag, count)` pairs, ascending by
+    /// tag; tags with a zero count are omitted.
+    pub requests_by_tag: Vec<(u32, u64)>,
+    /// Result-cache hits, when the backend has a cache (zeros otherwise).
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+}
+
+/// Answer payload for [`Request::DaemonSnapshot`]: the rolling Table 2
+/// funnel over everything ingested so far. Provisional by construction —
+/// classes can still migrate until the stream is sealed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DaemonSnapshotReply {
+    /// Probes with metadata pushed so far.
+    pub total: u64,
+    /// Currently classed IPv6-only.
+    pub ipv6_only: u64,
+    /// Currently classed dual-stack.
+    pub dual_stack: u64,
+    /// Disqualified by tags.
+    pub tagged: u64,
+    /// Behaviourally multihomed.
+    pub multihomed: u64,
+    /// Only testing-address entries so far.
+    pub testing_only: u64,
+    /// Connected but never changed address.
+    pub never_changed: u64,
+    /// Analyzable for geographic analyses.
+    pub analyzable_geo: u64,
+    /// Analyzable probes that crossed AS boundaries.
+    pub multi_as: u64,
+    /// Analyzable for AS-level analyses (`analyzable_geo - multi_as`).
+    pub analyzable_as: u64,
+    /// Address changes observed so far.
+    pub changes: u64,
+    /// Connection gaps observed so far.
+    pub gaps: u64,
+    /// Network outages detected so far.
+    pub network_outages: u64,
+    /// Reboots detected so far (before firmware filtering, which is a
+    /// seal-time global pass).
+    pub reboots: u64,
+    /// Latest event time pushed (seconds), 0 before any row.
+    pub frontier_secs: i64,
+    /// Probes with at least one record or metadata row.
+    pub probes_tracked: u64,
+    /// True once the stream has been sealed into a final report.
+    pub sealed: bool,
+}
+
+/// Answer payload for [`Request::DaemonProbe`]: one probe's rolling state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DaemonProbeReply {
+    /// The probe asked about.
+    pub probe: u32,
+    /// Provisional funnel class, in `dynaddr_core::ProbeClass` declaration
+    /// order: 0 Ipv6Only, 1 DualStack, 2 Tagged, 3 Multihomed,
+    /// 4 TestingOnly, 5 NeverChanged, 6 Analyzable.
+    pub class: u8,
+    /// Whether its changes crossed AS boundaries.
+    pub multi_as: bool,
+    /// IPv4 connection entries retained.
+    pub entries: u64,
+    /// Address changes so far.
+    pub changes: u64,
+    /// Connection gaps so far.
+    pub gaps: u64,
+    /// Network outages so far.
+    pub network_outages: u64,
+    /// Reboots so far.
+    pub reboots: u64,
+    /// Whether a testing-address entry was ever seen.
+    pub had_testing: bool,
+}
+
+/// Answer payload for [`Request::IngestStats`]: raw ingest counters and
+/// replay progress. All integers — rates are derived client-side from
+/// `rows_ingested` and `elapsed_ms` so the wire stays float-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStatsReply {
+    /// Probe-metadata rows ingested.
+    pub meta_rows: u64,
+    /// Connection-log rows ingested.
+    pub connection_rows: u64,
+    /// K-root ping rows ingested.
+    pub kroot_rows: u64,
+    /// SOS uptime rows ingested.
+    pub uptime_rows: u64,
+    /// Rows dropped because their probe had no metadata yet.
+    pub unknown_probe_rows: u64,
+    /// Latest event time pushed (seconds), 0 before any row.
+    pub frontier_secs: i64,
+    /// Record rows ingested so far (connection + kroot + uptime).
+    pub rows_ingested: u64,
+    /// Total record rows in the replay plan; zero for live ingestion.
+    pub rows_planned: u64,
+    /// Wall-clock milliseconds since ingestion started.
+    pub elapsed_ms: u64,
+    /// True once the stream has been sealed.
+    pub sealed: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -760,6 +893,128 @@ impl Wire for ProbeTruthReply {
     }
 }
 
+impl Wire for ServerStatsReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.uptime_secs.put(out);
+        self.connections_total.put(out);
+        self.requests_total.put(out);
+        self.requests_by_tag.put(out);
+        self.cache_hits.put(out);
+        self.cache_misses.put(out);
+        self.cache_evictions.put(out);
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<ServerStatsReply, WireError> {
+        Ok(ServerStatsReply {
+            uptime_secs: r.u64()?,
+            connections_total: r.u64()?,
+            requests_total: r.u64()?,
+            requests_by_tag: <Vec<_> as Wire>::take(r)?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            cache_evictions: r.u64()?,
+        })
+    }
+}
+
+impl Wire for DaemonSnapshotReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.total.put(out);
+        self.ipv6_only.put(out);
+        self.dual_stack.put(out);
+        self.tagged.put(out);
+        self.multihomed.put(out);
+        self.testing_only.put(out);
+        self.never_changed.put(out);
+        self.analyzable_geo.put(out);
+        self.multi_as.put(out);
+        self.analyzable_as.put(out);
+        self.changes.put(out);
+        self.gaps.put(out);
+        self.network_outages.put(out);
+        self.reboots.put(out);
+        self.frontier_secs.put(out);
+        self.probes_tracked.put(out);
+        out.push(u8::from(self.sealed));
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<DaemonSnapshotReply, WireError> {
+        Ok(DaemonSnapshotReply {
+            total: r.u64()?,
+            ipv6_only: r.u64()?,
+            dual_stack: r.u64()?,
+            tagged: r.u64()?,
+            multihomed: r.u64()?,
+            testing_only: r.u64()?,
+            never_changed: r.u64()?,
+            analyzable_geo: r.u64()?,
+            multi_as: r.u64()?,
+            analyzable_as: r.u64()?,
+            changes: r.u64()?,
+            gaps: r.u64()?,
+            network_outages: r.u64()?,
+            reboots: r.u64()?,
+            frontier_secs: r.i64()?,
+            probes_tracked: r.u64()?,
+            sealed: r.bool()?,
+        })
+    }
+}
+
+impl Wire for DaemonProbeReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.probe.put(out);
+        out.push(self.class);
+        out.push(u8::from(self.multi_as));
+        self.entries.put(out);
+        self.changes.put(out);
+        self.gaps.put(out);
+        self.network_outages.put(out);
+        self.reboots.put(out);
+        out.push(u8::from(self.had_testing));
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<DaemonProbeReply, WireError> {
+        Ok(DaemonProbeReply {
+            probe: r.u32()?,
+            class: r.u8()?,
+            multi_as: r.bool()?,
+            entries: r.u64()?,
+            changes: r.u64()?,
+            gaps: r.u64()?,
+            network_outages: r.u64()?,
+            reboots: r.u64()?,
+            had_testing: r.bool()?,
+        })
+    }
+}
+
+impl Wire for IngestStatsReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.meta_rows.put(out);
+        self.connection_rows.put(out);
+        self.kroot_rows.put(out);
+        self.uptime_rows.put(out);
+        self.unknown_probe_rows.put(out);
+        self.frontier_secs.put(out);
+        self.rows_ingested.put(out);
+        self.rows_planned.put(out);
+        self.elapsed_ms.put(out);
+        out.push(u8::from(self.sealed));
+    }
+    fn take(r: &mut WireReader<'_>) -> Result<IngestStatsReply, WireError> {
+        Ok(IngestStatsReply {
+            meta_rows: r.u64()?,
+            connection_rows: r.u64()?,
+            kroot_rows: r.u64()?,
+            uptime_rows: r.u64()?,
+            unknown_probe_rows: r.u64()?,
+            frontier_secs: r.i64()?,
+            rows_ingested: r.u64()?,
+            rows_planned: r.u64()?,
+            elapsed_ms: r.u64()?,
+            sealed: r.bool()?,
+        })
+    }
+}
+
 impl Wire for Request {
     fn put(&self, out: &mut Vec<u8>) {
         match self {
@@ -788,6 +1043,13 @@ impl Wire for Request {
                 out.push(6);
                 p.0.put(out);
             }
+            Request::ServerStats => out.push(7),
+            Request::DaemonSnapshot => out.push(8),
+            Request::DaemonProbe(p) => {
+                out.push(9);
+                p.0.put(out);
+            }
+            Request::IngestStats => out.push(10),
         }
     }
     fn take(r: &mut WireReader<'_>) -> Result<Request, WireError> {
@@ -799,6 +1061,10 @@ impl Wire for Request {
             4 => Request::CountrySummary(r.string()?),
             5 => Request::TopMovers(r.u32()?),
             6 => Request::ProbeTruth(ProbeId(r.u32()?)),
+            7 => Request::ServerStats,
+            8 => Request::DaemonSnapshot,
+            9 => Request::DaemonProbe(ProbeId(r.u32()?)),
+            10 => Request::IngestStats,
             n => return Err(WireError(format!("unknown request tag {n}"))),
         })
     }
@@ -836,6 +1102,22 @@ impl Wire for Response {
                 out.push(7);
                 msg.put(out);
             }
+            Response::ServerStats(v) => {
+                out.push(8);
+                v.put(out);
+            }
+            Response::DaemonSnapshot(v) => {
+                out.push(9);
+                v.put(out);
+            }
+            Response::DaemonProbe(v) => {
+                out.push(10);
+                v.put(out);
+            }
+            Response::IngestStats(v) => {
+                out.push(11);
+                v.put(out);
+            }
         }
     }
     fn take(r: &mut WireReader<'_>) -> Result<Response, WireError> {
@@ -848,6 +1130,10 @@ impl Wire for Response {
             5 => Response::TopMovers(Wire::take(r)?),
             6 => Response::ProbeTruth(Wire::take(r)?),
             7 => Response::Error(r.string()?),
+            8 => Response::ServerStats(Wire::take(r)?),
+            9 => Response::DaemonSnapshot(Wire::take(r)?),
+            10 => Response::DaemonProbe(Wire::take(r)?),
+            11 => Response::IngestStats(Wire::take(r)?),
             n => return Err(WireError(format!("unknown response tag {n}"))),
         })
     }
@@ -925,9 +1211,69 @@ mod tests {
             Request::CountrySummary("DE".into()),
             Request::TopMovers(25),
             Request::ProbeTruth(ProbeId(7)),
+            Request::ServerStats,
+            Request::DaemonSnapshot,
+            Request::DaemonProbe(ProbeId(31)),
+            Request::IngestStats,
         ] {
             roundtrip(&req);
         }
+    }
+
+    #[test]
+    fn daemon_responses_roundtrip() {
+        roundtrip(&Response::ServerStats(ServerStatsReply {
+            uptime_secs: 90,
+            connections_total: 4,
+            requests_total: 1000,
+            requests_by_tag: vec![(0, 1), (2, 998), (7, 1)],
+            cache_hits: 600,
+            cache_misses: 400,
+            cache_evictions: 17,
+        }));
+        roundtrip(&Response::DaemonSnapshot(DaemonSnapshotReply {
+            total: 100,
+            ipv6_only: 3,
+            dual_stack: 5,
+            tagged: 2,
+            multihomed: 1,
+            testing_only: 4,
+            never_changed: 40,
+            analyzable_geo: 45,
+            multi_as: 5,
+            analyzable_as: 40,
+            changes: 1234,
+            gaps: 2345,
+            network_outages: 17,
+            reboots: 9,
+            frontier_secs: -1,
+            probes_tracked: 100,
+            sealed: false,
+        }));
+        roundtrip(&Response::DaemonProbe(None));
+        roundtrip(&Response::DaemonProbe(Some(DaemonProbeReply {
+            probe: 31,
+            class: 6,
+            multi_as: true,
+            entries: 50,
+            changes: 7,
+            gaps: 8,
+            network_outages: 2,
+            reboots: 1,
+            had_testing: false,
+        })));
+        roundtrip(&Response::IngestStats(IngestStatsReply {
+            meta_rows: 100,
+            connection_rows: 5000,
+            kroot_rows: 40000,
+            uptime_rows: 900,
+            unknown_probe_rows: 3,
+            frontier_secs: i64::MIN,
+            rows_ingested: 45900,
+            rows_planned: 45903,
+            elapsed_ms: 1500,
+            sealed: true,
+        }));
     }
 
     #[test]

@@ -2,35 +2,135 @@
 //!
 //! The process model is the classic one: [`serve`] binds the socket, the
 //! accept loop hands each connection to its own thread, and every thread
-//! answers frames against the same shared [`QueryEngine`] — the engine's
-//! `&self` query path and the sharded cache do all the concurrency work.
-//! Per-request latency is recorded into the `query.latency_us` histogram
-//! and cache counter deltas are published when a connection closes, so a
-//! `--trace` sidecar on the daemon captures the serving metrics without
-//! any per-request registry locking beyond the one histogram record.
+//! answers frames against the same shared [`Answerer`] — the answerer's
+//! `&self` query path does all the concurrency work. Both daemons reuse
+//! this front-end: `queryd` serves a [`QueryEngine`], `dynaddrd` serves
+//! its live ingest state; neither reimplements socket cleanup, the stop
+//! handle, or worker reaping.
+//!
+//! The server front-end answers [`Request::ServerStats`] itself from its
+//! own atomics (uptime, connection and per-tag request counts, plus the
+//! answerer's cache counters), so every backend gets process
+//! introspection for free. Per-request latency is recorded into the
+//! `query.latency_us` histogram and [`Answerer::on_connection_close`]
+//! fires when a connection ends, so a `--trace` sidecar captures the
+//! serving metrics without any per-request registry locking beyond the
+//! one histogram record.
 //!
 //! Shutdown is cooperative: [`ServerHandle::stop`] sets a flag and pokes
 //! the listener with a dummy connect so `accept` wakes up; the accept
 //! loop then joins its connection threads. The CI smoke instead just
-//! kills the `queryd` process — both paths leave the store file untouched
+//! kills the daemon process — both paths leave the store file untouched
 //! because serving never writes.
 
+use crate::cache::CacheStats;
 use crate::engine::QueryEngine;
-use crate::proto::{self, Request, Response};
+use crate::proto::{self, Request, Response, ServerStatsReply};
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// A request backend the server front-end can serve.
+///
+/// `answer` must be callable from many connection threads at once; the
+/// server never serializes requests.
+pub trait Answerer: Send + Sync + 'static {
+    /// Answers one request. Unsupported requests should return
+    /// [`Response::Error`], not panic.
+    fn answer(&self, req: &Request) -> Response;
+
+    /// Called when a connection closes; a natural point to publish
+    /// accumulated metrics.
+    fn on_connection_close(&self) {}
+
+    /// Result-cache counters for [`Request::ServerStats`], when the
+    /// backend has a cache.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+}
+
+impl Answerer for QueryEngine {
+    fn answer(&self, req: &Request) -> Response {
+        self.query(req)
+    }
+    fn on_connection_close(&self) {
+        self.publish_metrics();
+    }
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache_stats())
+    }
+}
+
+/// Wire tags a request can carry, for the per-tag counters.
+const REQUEST_TAGS: usize = 11;
+
+fn request_tag(req: &Request) -> usize {
+    match req {
+        Request::Ping => 0,
+        Request::ProbeRecords(_) => 1,
+        Request::ProbeSeries(_) => 2,
+        Request::AsSummary(_) => 3,
+        Request::CountrySummary(_) => 4,
+        Request::TopMovers(_) => 5,
+        Request::ProbeTruth(_) => 6,
+        Request::ServerStats => 7,
+        Request::DaemonSnapshot => 8,
+        Request::DaemonProbe(_) => 9,
+        Request::IngestStats => 10,
+    }
+}
+
+/// The server front-end's own counters, shared across connection threads.
+struct FrontStats {
+    started: Instant,
+    connections: AtomicU64,
+    by_tag: [AtomicU64; REQUEST_TAGS],
+}
+
+impl FrontStats {
+    fn new() -> FrontStats {
+        FrontStats {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            by_tag: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn snapshot(&self, cache: Option<CacheStats>) -> ServerStatsReply {
+        let mut requests_total = 0;
+        let mut requests_by_tag = Vec::new();
+        for (tag, n) in self.by_tag.iter().enumerate() {
+            let n = n.load(Ordering::Relaxed);
+            requests_total += n;
+            if n > 0 {
+                requests_by_tag.push((tag as u32, n));
+            }
+        }
+        let cache = cache.unwrap_or_default();
+        ServerStatsReply {
+            uptime_secs: self.started.elapsed().as_secs(),
+            connections_total: self.connections.load(Ordering::Relaxed),
+            requests_total,
+            requests_by_tag,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+        }
+    }
+}
+
 /// A bound, not-yet-running server. Call [`Server::run`] to serve.
-pub struct Server {
+pub struct Server<A: Answerer> {
     listener: UnixListener,
-    engine: Arc<QueryEngine>,
+    answerer: Arc<A>,
     stop: Arc<AtomicBool>,
     path: PathBuf,
+    stats: Arc<FrontStats>,
 }
 
 /// Stop control for a running [`Server`], usable from any thread.
@@ -50,21 +150,22 @@ impl ServerHandle {
     }
 }
 
-/// Binds `path` (replacing a stale socket file) for `engine`.
-pub fn serve(engine: Arc<QueryEngine>, path: &Path) -> io::Result<Server> {
+/// Binds `path` (replacing a stale socket file) for `answerer`.
+pub fn serve<A: Answerer>(answerer: Arc<A>, path: &Path) -> io::Result<Server<A>> {
     if path.exists() {
         std::fs::remove_file(path)?;
     }
     let listener = UnixListener::bind(path)?;
     Ok(Server {
         listener,
-        engine,
+        answerer,
         stop: Arc::new(AtomicBool::new(false)),
         path: path.to_path_buf(),
+        stats: Arc::new(FrontStats::new()),
     })
 }
 
-impl Server {
+impl<A: Answerer> Server<A> {
     /// The bound socket path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -85,12 +186,14 @@ impl Server {
                 break;
             }
             let stream = stream?;
-            let engine = Arc::clone(&self.engine);
+            self.stats.connections.fetch_add(1, Ordering::Relaxed);
+            let answerer = Arc::clone(&self.answerer);
+            let stats = Arc::clone(&self.stats);
             workers.push(thread::spawn(move || {
                 // A peer dropping mid-frame is normal churn, not a server
                 // error; just close our end.
-                let _ = handle_connection(&engine, stream);
-                engine.publish_metrics();
+                let _ = handle_connection(&*answerer, &stats, stream);
+                answerer.on_connection_close();
             }));
             // Reap finished workers so a long-lived daemon doesn't
             // accumulate handles.
@@ -104,13 +207,25 @@ impl Server {
     }
 }
 
-fn handle_connection(engine: &QueryEngine, stream: UnixStream) -> io::Result<()> {
+fn handle_connection<A: Answerer>(
+    answerer: &A,
+    stats: &FrontStats,
+    stream: UnixStream,
+) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(body) = proto::read_frame(&mut reader)? {
         let started = Instant::now();
         let response = match proto::from_bytes::<Request>(&body) {
-            Ok(req) => engine.query(&req),
+            Ok(req) => {
+                stats.by_tag[request_tag(&req)].fetch_add(1, Ordering::Relaxed);
+                match req {
+                    Request::ServerStats => {
+                        Response::ServerStats(stats.snapshot(answerer.cache_stats()))
+                    }
+                    req => answerer.answer(&req),
+                }
+            }
             Err(e) => Response::Error(e.to_string()),
         };
         let reply = proto::to_bytes(&response);

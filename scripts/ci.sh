@@ -11,8 +11,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace: the root package alone would skip the member binaries the
+# smokes below run straight from target/release (queryd, dynaddrd, ...).
+cargo build --release --workspace
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
@@ -38,6 +40,9 @@ grep -q '"trace_overhead_pct"' "$SNAP"
 grep -q '"lookups_per_sec"' "$SNAP"
 grep -q '"cache_hit_rate"' "$SNAP"
 grep -q '"latency_p99_us"' "$SNAP"
+grep -q '"replay_rows_per_sec"' "$SNAP"
+grep -q '"point_p99_ns"' "$SNAP"
+grep -q '"sealed_matches_batch": true' "$SNAP"
 
 echo "==> store round-trip smoke (scale 0.01, store vs jsonl)"
 # The same world written in both formats must analyze to identical reports.
@@ -72,6 +77,45 @@ diff "$SMOKE/q-remote-cold.txt" "$SMOKE/q-local.txt"
 diff "$SMOKE/q-remote-cold.txt" "$SMOKE/q-remote-warm.txt"
 kill "$QPID"
 wait "$QPID" 2>/dev/null || true
+
+echo "==> dynaddrd replay smoke (scale 0.01 store, daemon vs batch report)"
+# Replaying the full stream through the live per-probe state machines and
+# sealing must reproduce the batch analyzer's report byte for byte — at 1
+# thread, 2 threads, and the ambient count. Mid-replay, the daemon must
+# answer rolling point queries over its socket.
+trap 'kill "$DPID" 2>/dev/null; rm -rf "$SNAP" "$SMOKE"' EXIT
+for THREADS in 1 2 ambient; do
+    DSOCK="$SMOKE/dynaddrd-$THREADS.sock"
+    DREPORT="$SMOKE/dynaddrd-$THREADS.txt"
+    if [ "$THREADS" = ambient ]; then
+        set --
+    else
+        set -- --threads "$THREADS"
+    fi
+    ./target/release/dynaddrd --replay "$SMOKE/store/dataset.store" \
+        --socket "$DSOCK" --rate max --report "$DREPORT" \
+        --trace "$SMOKE/dynaddrd-$THREADS-trace.jsonl" \
+        "$@" 2> "$SMOKE/dynaddrd-$THREADS.err" &
+    DPID=$!
+    # Rolling snapshot + probe state while (or just after) the replay
+    # runs; then block until the stream is sealed.
+    ./target/release/dynaddrd query --socket "$DSOCK" snapshot \
+        > "$SMOKE/dynaddrd-$THREADS.snap"
+    grep -q '^snapshot: ' "$SMOKE/dynaddrd-$THREADS.snap"
+    ./target/release/dynaddrd query --socket "$DSOCK" --wait-sealed 120 ingest \
+        | grep -q 'sealed true'
+    # The report is published by atomic rename just after sealing.
+    N=0
+    until [ -f "$DREPORT" ]; do
+        N=$((N+1))
+        [ "$N" -lt 200 ] || { echo "dynaddrd report never appeared"; exit 1; }
+        sleep 0.1
+    done
+    diff "$SMOKE/store.txt" "$DREPORT"
+    grep -q '"ev":"heartbeat"' "$SMOKE/dynaddrd-$THREADS-trace.jsonl"
+    kill "$DPID"
+    wait "$DPID" 2>/dev/null || true
+done
 
 echo "==> build-mode smoke (scale 0.01, shard-local vs serial world build)"
 # Nets and probes are normally materialized inside the parallel shard map;

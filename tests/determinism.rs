@@ -244,6 +244,38 @@ fn shard_local_build_matches_serial_build_byte_for_byte() {
 }
 
 #[test]
+fn daemon_replay_seal_is_byte_identical_across_thread_counts() {
+    // The keystone daemon property under the executor: replaying the full
+    // stream from t=0 into the live per-probe machines and sealing must
+    // render byte-for-byte the batch analyzer's report, at 1 thread, 2
+    // threads, heavy oversubscription, and the ambient count. (The ci.sh
+    // daemon smoke re-checks the same equivalence end-to-end through the
+    // dynaddrd binary and its Unix socket.)
+    use dynaddr::analysis::report::render_full;
+    use dynaddr_daemon::{Daemon, Rate};
+
+    let world = paper_world(0.02, 7);
+    dynaddr_exec::set_threads(Some(1));
+    let out = simulate(&world);
+    let snaps = paper_route_tables(&world);
+    let cfg = AnalysisConfig::default();
+    let batch = render_full(&analyze(&out.dataset, &snaps, &cfg), &cfg.as_names);
+    dynaddr_exec::set_threads(None);
+
+    for threads in [Some(1), Some(2), Some(64), None] {
+        dynaddr_exec::set_threads(threads);
+        let daemon = Daemon::new(snaps.clone(), cfg.clone());
+        daemon.replay(&out.dataset, Rate::Max);
+        let sealed = daemon.seal_text();
+        dynaddr_exec::set_threads(None);
+        assert_eq!(
+            batch, sealed,
+            "daemon replay+seal differs from batch analyze at threads={threads:?}"
+        );
+    }
+}
+
+#[test]
 fn tracing_never_changes_a_report_byte() {
     // Observability is strictly off the output path: the report must be
     // byte-identical with the JSONL trace sink on and off, at every worker
